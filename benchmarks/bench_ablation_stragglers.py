@@ -1,0 +1,78 @@
+"""A6 — ablation: straggler NIs (heterogeneous coprocessor speeds).
+
+The paper assumes homogeneous NIs.  This ablation slows a fraction of
+the NIs down (2x slower coprocessor) and measures the impact on the
+optimal k-binomial multicast vs the binomial baseline: the k-binomial
+advantage must survive heterogeneity, and slowing *interior* nodes must
+hurt more than slowing leaves.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_binomial_tree,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table
+
+M = 8
+N_DESTS = 47
+SLOW_FACTOR = 2.0
+
+
+def measure():
+    topology = build_irregular_network(seed=21)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(77)
+    picked = rng.sample(list(topology.hosts), N_DESTS + 1)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    ktree = build_kbinomial_tree(chain, optimal_k(len(chain), M))
+    btree = build_binomial_tree(chain)
+
+    interior = [n for n in ktree.nodes() if ktree.fanout(n) and n != ktree.root]
+    leaves = [n for n in ktree.nodes() if ktree.fanout(n) == 0]
+
+    scenarios = {
+        "homogeneous": {},
+        "25% random slow": {
+            h: SLOW_FACTOR for h in rng.sample(list(topology.hosts), 16)
+        },
+        "interior slow": {h: SLOW_FACTOR for h in interior},
+        "leaves slow": {h: SLOW_FACTOR for h in leaves[: len(interior)]},
+    }
+    rows = []
+    for name, speed_map in scenarios.items():
+        sim = MulticastSimulator(topology, router, host_speed=speed_map)
+        klat = sim.run(ktree, M).latency
+        blat = sim.run(btree, M).latency
+        rows.append([name, round(klat, 1), round(blat, 1), round(blat / klat, 2)])
+    return rows
+
+
+def test_ablation_stragglers(benchmark, show):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_table(
+            ["scenario", "k-binomial us", "binomial us", "ratio"],
+            rows,
+            title=f"A6: straggler NIs ({SLOW_FACTOR}x slower), {N_DESTS} dests, m={M}",
+        )
+    )
+    by_name = {r[0]: r for r in rows}
+    base = by_name["homogeneous"]
+    # k-binomial keeps winning under every heterogeneity pattern.
+    for name, klat, blat, ratio in rows:
+        assert ratio > 1.2
+    # Stragglers never help, and slow interior nodes hurt at least as
+    # much as the same number of slow leaves.
+    assert by_name["interior slow"][1] >= base[1]
+    assert by_name["interior slow"][1] >= by_name["leaves slow"][1]

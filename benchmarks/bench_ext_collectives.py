@@ -1,0 +1,85 @@
+"""A4 — extension: collectives built on FPFS multicast (§7 future work).
+
+Measures broadcast / scatter / gather / multiple-multicast on the
+64-host fabric and asserts the structural expectations: broadcast over
+the optimal k-binomial tree beats the linear and flat extremes, and
+concurrent multicasts never beat their isolated runs (contention is
+conservative).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table
+from repro.mcast import broadcast, gather, multiple_multicast, scatter
+
+M = 8
+
+
+def measure():
+    topology = build_irregular_network(seed=14)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    simulator = MulticastSimulator(topology, router)
+    master = ordering[0]
+    workers = [h for h in ordering if h != master]
+
+    bcast_opt = broadcast(simulator, master, ordering, M).latency
+    bcast_lin = broadcast(simulator, master, ordering, M, k=1).latency
+    bcast_bin = broadcast(simulator, master, ordering, M, k=6).latency
+
+    chain = chain_for(master, workers, ordering)
+    tree = build_kbinomial_tree(chain, optimal_k(len(chain), M))
+    s_tree = scatter(simulator, tree, 2, strategy="tree").makespan
+    s_direct = scatter(simulator, tree, 2, strategy="direct").makespan
+
+    g = gather(simulator, master, workers[:32], 2).makespan
+
+    groups = [(ordering[i * 16], ordering[i * 16 + 1 : (i + 1) * 16]) for i in range(4)]
+    mm = multiple_multicast(simulator, groups, ordering, M)
+    isolated = max(
+        multiple_multicast(simulator, [grp], ordering, M).makespan for grp in groups
+    )
+
+    return {
+        "bcast_opt": bcast_opt,
+        "bcast_lin": bcast_lin,
+        "bcast_bin": bcast_bin,
+        "scatter_tree": s_tree,
+        "scatter_direct": s_direct,
+        "gather": g,
+        "mm_makespan": mm.makespan,
+        "mm_isolated": isolated,
+    }
+
+
+def test_ext_collectives(benchmark, show):
+    r = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_table(
+            ["collective", "latency us"],
+            [
+                [f"broadcast m={M} (optimal k)", round(r["bcast_opt"], 1)],
+                [f"broadcast m={M} (k=1 chain)", round(r["bcast_lin"], 1)],
+                [f"broadcast m={M} (k=6 binomial)", round(r["bcast_bin"], 1)],
+                ["scatter 2 pkt/worker (tree relay)", round(r["scatter_tree"], 1)],
+                ["scatter 2 pkt/worker (direct)", round(r["scatter_direct"], 1)],
+                ["gather 2 pkt x 32", round(r["gather"], 1)],
+                ["4x15-way multicast (concurrent)", round(r["mm_makespan"], 1)],
+                ["4x15-way multicast (worst isolated)", round(r["mm_isolated"], 1)],
+            ],
+            title="A4: collectives over FPFS NIs (64-host irregular net)",
+        )
+    )
+    assert r["bcast_opt"] <= r["bcast_lin"]
+    assert r["bcast_opt"] <= r["bcast_bin"]
+    assert r["mm_makespan"] >= r["mm_isolated"] - 1e-9
+    assert r["scatter_tree"] > 0 and r["scatter_direct"] > 0 and r["gather"] > 0

@@ -1,0 +1,82 @@
+"""A10 — extension: one-port vs multi-port NIs.
+
+The paper's model is one-port (one NI injection channel).  Modern NICs
+often expose several parallel DMA/injection engines; this bench gives
+each NI ``p`` parallel host links + send engines and re-runs the
+binomial vs k-binomial comparison.  Finding: extra ports absorb the
+binomial root's injection burst, so the k-binomial advantage narrows as
+ports grow — but never inverts, because the pipeline-interval argument
+(Theorem 1) applies to whatever per-step bandwidth a node has.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    UpDownRouter,
+    build_binomial_tree,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    fpfs_total_steps,
+    optimal_k,
+)
+from repro.analysis import render_table
+from repro.mcast import MulticastSimulator
+
+M = 16
+N_DESTS = 47
+PORTS = (1, 2, 4)
+
+
+def measure():
+    topology = build_irregular_network(seed=23)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(13)
+    picked = rng.sample(list(topology.hosts), N_DESTS + 1)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    ktree = build_kbinomial_tree(chain, optimal_k(len(chain), M))
+    btree = build_binomial_tree(chain)
+
+    rows = []
+    for ports in PORTS:
+        model_k = fpfs_total_steps(ktree, M, ports=ports)
+        model_b = fpfs_total_steps(btree, M, ports=ports)
+        sim = MulticastSimulator(topology, router, ni_ports=ports)
+        sim_k = sim.run(ktree, M).latency
+        sim_b = sim.run(btree, M).latency
+        rows.append(
+            [
+                ports,
+                model_k,
+                model_b,
+                round(sim_k, 1),
+                round(sim_b, 1),
+                round(sim_b / sim_k, 2),
+            ]
+        )
+    return rows
+
+
+def test_ext_multiport(benchmark, show):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_table(
+            ["ports", "kbin steps", "bin steps", "kbin sim us", "bin sim us", "sim ratio"],
+            rows,
+            title=f"A10: one-port vs multi-port NIs ({N_DESTS} dests, m={M})",
+        )
+    )
+    ratios = [r[5] for r in rows]
+    # More ports help both trees...
+    ksims = [r[3] for r in rows]
+    bsims = [r[4] for r in rows]
+    assert ksims == sorted(ksims, reverse=True)
+    assert bsims == sorted(bsims, reverse=True)
+    # ...narrow the k-binomial advantage...
+    assert ratios == sorted(ratios, reverse=True)
+    # ...but never invert it.
+    assert all(r >= 1.0 for r in ratios)

@@ -1,0 +1,72 @@
+"""E1 — §2.5 / Fig. 4: smart vs conventional NI, analytic + simulated.
+
+Paper: single-packet binomial multicast costs
+``ceil(log2 n) * (t_step + t_s + t_r)`` with conventional NIs but only
+``t_s + ceil(log2 n) * t_step + t_r`` with smart NIs.  We print both
+formulas next to full DES measurements and assert the smart NI wins for
+every n with an intermediate hop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import (
+    ConventionalInterface,
+    FPFSInterface,
+    MulticastSimulator,
+    UpDownRouter,
+    build_binomial_tree,
+    build_irregular_network,
+    cco_ordering,
+    chain_for,
+    conventional_latency_model,
+    multicast_latency_model,
+)
+from repro.analysis import render_table
+from repro.params import PAPER_PARAMS
+
+SET_SIZES = (2, 4, 8, 16, 32, 64)
+
+
+def measure():
+    topology = build_irregular_network(seed=1)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(4)
+    rows = []
+    for n in SET_SIZES:
+        picked = rng.sample(list(topology.hosts), n)
+        chain = chain_for(picked[0], picked[1:], ordering)
+        tree = build_binomial_tree(chain)
+        smart_sim = MulticastSimulator(topology, router, ni_class=FPFSInterface).run(tree, 1)
+        conv_sim = MulticastSimulator(topology, router, ni_class=ConventionalInterface).run(tree, 1)
+        hops = math.ceil(math.log2(n))
+        rows.append(
+            [
+                n,
+                round(multicast_latency_model(hops, PAPER_PARAMS), 1),
+                round(smart_sim.latency, 1),
+                round(conventional_latency_model(n, 1, PAPER_PARAMS), 1),
+                round(conv_sim.latency, 1),
+            ]
+        )
+    return rows
+
+
+def test_fig04_smart_vs_conventional(benchmark, show):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_table(
+            ["n", "smart model us", "smart sim us", "conv model us", "conv sim us"],
+            rows,
+            title="E1 / Fig. 4: single-packet binomial multicast, smart vs conventional NI",
+        )
+    )
+    for n, smart_model, smart_sim, conv_model, conv_sim in rows:
+        # Simulated values track the analytic model within contention slack.
+        assert smart_sim <= conv_sim or n == 2
+        assert smart_model <= conv_model or n == 2
+        # Model vs simulation agreement: within 40% (routing detail).
+        assert abs(smart_sim - smart_model) / smart_model < 0.4

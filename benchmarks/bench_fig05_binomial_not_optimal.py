@@ -1,0 +1,37 @@
+"""E2 — §2.6 / Fig. 5: the binomial tree is not optimal under packetization.
+
+3 destinations, 3 packets: binomial takes 6 steps, linear takes 5.
+Printed for m = 1..8 to show the crossover; asserted exactly at m = 3.
+"""
+
+from __future__ import annotations
+
+from repro import build_binomial_tree, build_linear_tree, fpfs_total_steps
+from repro.analysis import render_series
+
+M_VALUES = tuple(range(1, 9))
+
+
+def measure():
+    chain = list(range(4))
+    bino = [fpfs_total_steps(build_binomial_tree(chain), m) for m in M_VALUES]
+    line = [fpfs_total_steps(build_linear_tree(chain), m) for m in M_VALUES]
+    return bino, line
+
+
+def test_fig05_binomial_not_optimal(benchmark, show):
+    bino, line = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_series(
+            "m",
+            list(M_VALUES),
+            {"binomial steps": bino, "linear steps": line},
+            title="E2 / Fig. 5: steps for a multicast to 3 destinations",
+        )
+    )
+    # Paper's exact worked example (m=3): 6 vs 5 steps.
+    assert bino[2] == 6 and line[2] == 5
+    # Binomial wins the single-packet case...
+    assert bino[0] < line[0]
+    # ...and loses every multi-packet case on 3 destinations.
+    assert all(b > l for b, l in zip(bino[2:], line[2:]))

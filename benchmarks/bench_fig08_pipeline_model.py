@@ -1,0 +1,77 @@
+"""E4 — Fig. 8 / Theorems 1-2: the pipelined model, exact and simulated.
+
+Exact scheduler: packet i of an m-packet multicast over a k-binomial
+tree completes exactly k_T steps after packet i-1; total steps =
+T1 + (m-1) k_T.  DES: completion-time gaps on the real network are
+near-constant and proportional to k_T.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_binomial_tree,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    coverage,
+    packet_completion_steps,
+    theorem2_steps,
+)
+from repro.analysis import render_table
+
+
+def measure():
+    # Exact model: Fig. 8's binomial over 7 destinations, m = 3.
+    fig8 = packet_completion_steps(build_binomial_tree(list(range(8))), 3)
+
+    # Theorem check grid on full k-binomial trees.
+    grid = []
+    for k in (1, 2, 3, 4):
+        s = k + 2
+        n = coverage(s, k)
+        tree = build_kbinomial_tree(list(range(n)), k)
+        completions = packet_completion_steps(tree, 5)
+        gaps = sorted({b - a for a, b in zip(completions, completions[1:])})
+        grid.append([k, n, s, completions[-1], theorem2_steps(s, 5, k), gaps])
+
+    # DES: completion gaps on the 64-host fabric.
+    topology = build_irregular_network(seed=6)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    chain = chain_for(ordering[0], list(ordering[1:33]), ordering)
+    des_rows = []
+    for k in (1, 2, 3):
+        tree = build_kbinomial_tree(chain, k)
+        result = MulticastSimulator(topology, router).run(tree, 6)
+        intervals = result.packet_intervals
+        des_rows.append(
+            [k, tree.root_fanout, round(min(intervals), 2), round(max(intervals), 2)]
+        )
+    return fig8, grid, des_rows
+
+
+def test_fig08_pipeline_model(benchmark, show):
+    fig8, grid, des_rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        f"E4 / Fig. 8: binomial over 7 dests, m=3 -> packet completions {fig8} (paper: 3, 6, 9)",
+        render_table(
+            ["k", "n", "T1", "exact steps (m=5)", "Thm 2 steps", "completion gaps"],
+            grid,
+            title="Theorems 1-2 on full k-binomial trees",
+        ),
+        render_table(
+            ["k", "k_T", "min gap us", "max gap us"],
+            des_rows,
+            title="DES completion-time gaps (64-host irregular net, m=6)",
+        ),
+    )
+    assert fig8 == [3, 6, 9]
+    for k, n, s, exact, formula, gaps in grid:
+        assert exact == formula
+        assert gaps == [k]
+    # DES gaps are near-constant (Theorem 1's signature in real time).
+    for k, k_t, lo, hi in des_rows:
+        assert hi <= 1.6 * lo

@@ -1,0 +1,43 @@
+"""E5 — Fig. 12(a): optimal k vs number of packets m, per destination count.
+
+Analytic (Theorem 3 search).  Claims asserted: k starts at
+ceil(log2 n) for m = 1, never increases with m, and the small set
+(15 dests) crosses over to the linear tree (k = 1) before the large
+ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import ascii_plot, fig12a_optimal_k, render_series
+
+DEST_COUNTS = (63, 47, 31, 15)
+M_VALUES = tuple(range(1, 36))
+
+
+def test_fig12a_optimal_k_vs_m(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: fig12a_optimal_k(DEST_COUNTS, M_VALUES), rounds=1, iterations=1
+    )
+    show(
+        render_series(
+            "m",
+            list(M_VALUES),
+            {f"{d} dest": data[d] for d in DEST_COUNTS},
+            title="E5 / Fig. 12(a): optimal k vs number of packets",
+        ),
+        ascii_plot(
+            list(M_VALUES),
+            {f"{d} dest": [float(k) for k in data[d]] for d in (63, 15)},
+            height=8,
+            title="Fig. 12(a) shape",
+            y_label="optimal k",
+        ),
+    )
+    for d in DEST_COUNTS:
+        series = data[d]
+        assert series[0] == math.ceil(math.log2(d + 1))  # m=1: binomial
+        assert all(a >= b for a, b in zip(series, series[1:]))  # non-increasing
+    assert 1 in data[15]  # small sets reach the linear tree...
+    assert 1 not in data[63]  # ...large sets do not (within m <= 35)

@@ -1,0 +1,40 @@
+"""E6 — Fig. 12(b): optimal k vs multicast set size n, per packet count.
+
+Analytic.  Claims: the m = 1 curve is ceil(log2 n); the 4- and
+8-packet curves settle at k = 2 as n grows toward 64.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import fig12b_optimal_k, render_series
+
+M_VALUES = (1, 2, 4, 8)
+N_VALUES = tuple(range(2, 65))
+
+
+def test_fig12b_optimal_k_vs_n(benchmark, show):
+    data = benchmark.pedantic(
+        lambda: fig12b_optimal_k(M_VALUES, N_VALUES), rounds=1, iterations=1
+    )
+    shown = tuple(range(4, 65, 4))
+    show(
+        render_series(
+            "n",
+            list(shown),
+            {
+                f"{m} pkt": [data[m][N_VALUES.index(n)] for n in shown]
+                for m in M_VALUES
+            },
+            title="E6 / Fig. 12(b): optimal k vs multicast set size (n sampled every 4)",
+        )
+    )
+    assert data[1] == [math.ceil(math.log2(n)) for n in N_VALUES]
+    for m in (4, 8):
+        tail = data[m][N_VALUES.index(32):]
+        assert set(tail) == {2}  # plateau at k=2 (paper §5.1)
+    # Longer messages never ask for a larger k at the same n.
+    for i in range(len(N_VALUES)):
+        column = [data[m][i] for m in M_VALUES]
+        assert column == sorted(column, reverse=True)

@@ -1,0 +1,46 @@
+"""E7 — Fig. 13(a): simulated k-binomial latency vs packet count.
+
+Paper protocol: 64-host irregular networks, CCO ordering, FPFS NIs,
+optimal k per point; curves for 15/31/47/63 destinations.  Claims:
+latency grows with m and with set size, and the slope flattens once the
+optimal k settles at its plateau (the pipeline interval stops growing).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentConfig, fig13a_latency_vs_m, render_series
+
+DEST_COUNTS = (63, 47, 31, 15)
+M_VALUES = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig13a_latency_vs_m(benchmark, show):
+    config = ExperimentConfig.bench()
+    data = benchmark.pedantic(
+        lambda: fig13a_latency_vs_m(config, DEST_COUNTS, M_VALUES), rounds=1, iterations=1
+    )
+    show(
+        render_series(
+            "m",
+            list(M_VALUES),
+            {f"{d} dest": data[d] for d in DEST_COUNTS},
+            title=(
+                "E7 / Fig. 13(a): k-binomial multicast latency (us) vs packets "
+                f"[{config.n_topologies} topologies x {config.n_dest_sets} dest sets]"
+            ),
+        )
+    )
+    for d in DEST_COUNTS:
+        series = data[d]
+        assert series == sorted(series)  # latency grows with m
+    for i in range(len(M_VALUES)):
+        column = [data[d][i] for d in DEST_COUNTS]
+        # More destinations -> more latency (3% slack: different dest
+        # counts sample different random sets, and at m=1 the 47- and
+        # 63-dest trees share the same depth).
+        for larger, smaller in zip(column, column[1:]):
+            assert larger >= smaller * 0.97
+    # Pipelining bound: once k plateaus at 2, marginal cost per packet is
+    # ~2 steps; the 63-dest curve must stay well below m * t_step * 6.
+    last = data[63][-1]
+    assert last < 500  # paper's Fig. 13(a) tops out near ~550 us at m=32

@@ -1,0 +1,45 @@
+"""E8 — Fig. 13(b): simulated k-binomial latency vs multicast set size.
+
+Curves for 1/2/4/8-packet messages.  Claims: latency grows with n and
+with m, and the logarithmic flattening appears as n grows (the tree
+depth — not the set size — drives latency once k is fixed).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentConfig, fig13b_latency_vs_n, render_series
+
+M_VALUES = (8, 4, 2, 1)
+DEST_COUNTS = (7, 15, 31, 47, 63)
+
+
+def test_fig13b_latency_vs_n(benchmark, show):
+    config = ExperimentConfig.bench()
+    data = benchmark.pedantic(
+        lambda: fig13b_latency_vs_n(config, M_VALUES, DEST_COUNTS), rounds=1, iterations=1
+    )
+    show(
+        render_series(
+            "dests",
+            list(DEST_COUNTS),
+            {f"{m} pkt": data[m] for m in M_VALUES},
+            title=(
+                "E8 / Fig. 13(b): k-binomial multicast latency (us) vs set size "
+                f"[{config.n_topologies} topologies x {config.n_dest_sets} dest sets]"
+            ),
+        )
+    )
+    for m in M_VALUES:
+        series = data[m]
+        # Latency grows with n (3% slack for random-set sampling noise
+        # between adjacent points of equal tree depth).
+        for smaller, larger in zip(series, series[1:]):
+            assert larger >= smaller * 0.97
+    for i in range(len(DEST_COUNTS)):
+        column = [data[m][i] for m in M_VALUES]
+        assert column == sorted(column, reverse=True)  # grows with m
+    # Sub-linear growth in n: doubling dests from 31 to 63 costs less
+    # than doubling latency (recursive doubling, not separate sends).
+    for m in M_VALUES:
+        i31, i63 = DEST_COUNTS.index(31), DEST_COUNTS.index(63)
+        assert data[m][i63] < 2 * data[m][i31]

@@ -1,0 +1,38 @@
+"""E10 — Fig. 14(b): binomial vs optimal k-binomial latency vs set size.
+
+Curves for 2- and 8-packet messages.  Claim: the k-binomial advantage
+holds across set sizes and is larger for the longer message.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentConfig, fig14b_comparison_vs_n, render_comparison
+
+M_VALUES = (8, 2)
+DEST_COUNTS = (7, 15, 31, 47, 63)
+
+
+def test_fig14b_tree_comparison_vs_n(benchmark, show):
+    config = ExperimentConfig.bench()
+    data = benchmark.pedantic(
+        lambda: fig14b_comparison_vs_n(config, M_VALUES, DEST_COUNTS), rounds=1, iterations=1
+    )
+    blocks = [
+        render_comparison(
+            "dests",
+            list(DEST_COUNTS),
+            data[m]["binomial"],
+            data[m]["kbinomial"],
+            title=f"E10 / Fig. 14(b): {m}-packet messages — binomial vs k-binomial (us)",
+        )
+        for m in M_VALUES
+    ]
+    show(*blocks)
+    ratio_by_m = {}
+    for m in M_VALUES:
+        bino, kbin = data[m]["binomial"], data[m]["kbinomial"]
+        ratios = [b / k for b, k in zip(bino, kbin)]
+        assert all(r >= 0.99 for r in ratios)  # k-binomial never loses
+        ratio_by_m[m] = sum(ratios) / len(ratios)
+    # More packets -> bigger improvement (paper's Fig. 14(b) takeaway).
+    assert ratio_by_m[8] > ratio_by_m[2]

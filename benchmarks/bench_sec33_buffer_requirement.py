@@ -1,0 +1,78 @@
+"""E3 — §3.3.2: FCFS vs FPFS NI buffer requirement, analytic + measured.
+
+Analytic: packet residency ``T_c = ((c-1)p + 1) t_sq`` (FCFS) vs
+``T_p = c t_sq`` (FPFS).  Measured: peak packets buffered at the
+busiest *intermediate* NI in a full DES of the same multicast under
+each discipline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    FCFSInterface,
+    FPFSInterface,
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    compare_buffers,
+)
+from repro.analysis import render_table
+
+PACKETS = (1, 2, 4, 8, 16, 32)
+CHILDREN = 3
+
+
+def measure():
+    topology = build_irregular_network(seed=2)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(9)
+    picked = rng.sample(list(topology.hosts), 40)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    tree = build_kbinomial_tree(chain, CHILDREN)
+
+    rows = []
+    for p in PACKETS:
+        analytic = compare_buffers(CHILDREN, p)
+        fcfs = MulticastSimulator(topology, router, ni_class=FCFSInterface).run(tree, p)
+        fpfs = MulticastSimulator(topology, router, ni_class=FPFSInterface).run(tree, p)
+        rows.append(
+            [
+                p,
+                analytic.fcfs,
+                analytic.fpfs,
+                fcfs.max_intermediate_buffer,
+                fpfs.max_intermediate_buffer,
+            ]
+        )
+    return rows
+
+
+def test_sec33_buffer_requirement(benchmark, show):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    show(
+        render_table(
+            [
+                "packets",
+                "FCFS residency (t_sq)",
+                "FPFS residency (t_sq)",
+                "FCFS peak buf (sim)",
+                "FPFS peak buf (sim)",
+            ],
+            rows,
+            title=f"E3 / §3.3.2: NI buffering, intermediate node with {CHILDREN} children",
+        )
+    )
+    for p, t_c, t_p, sim_fcfs, sim_fpfs in rows:
+        assert t_p <= t_c
+        assert sim_fpfs <= sim_fcfs
+    # FCFS buffering grows with message length; FPFS stays bounded.
+    fcfs_series = [r[3] for r in rows]
+    fpfs_series = [r[4] for r in rows]
+    assert fcfs_series[-1] >= PACKETS[-1]  # whole message buffered
+    assert fpfs_series[-1] < fcfs_series[-1] / 2

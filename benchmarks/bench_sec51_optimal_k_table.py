@@ -1,0 +1,37 @@
+"""E11 — §4.3.1/§5.1: the precomputed optimal-k table is small.
+
+Claims: the optimal k is piecewise constant in m (few breakpoints per
+n), converges to small k, and the run-length-encoded table needs far
+less than the dense O(n*m) bound — which is what makes an NI-resident
+table feasible.
+"""
+
+from __future__ import annotations
+
+from repro import OptimalKTable
+from repro.analysis import render_table
+
+N_MAX, M_MAX = 64, 32
+
+
+def test_sec51_optimal_k_table(benchmark, show):
+    table = benchmark.pedantic(
+        lambda: OptimalKTable(n_max=N_MAX, m_max=M_MAX), rounds=1, iterations=1
+    )
+    rows = [
+        [n, len(table.runs_for(n)), " ".join(f"m>={m}:k={k}" for m, k in table.runs_for(n))]
+        for n in (8, 16, 32, 48, 64)
+    ]
+    show(
+        render_table(
+            ["n", "runs", "breakpoints"],
+            rows,
+            title="E11 / §5.1: optimal-k run-length encoding",
+        ),
+        f"table entries: {table.memory_entries}   dense bound: {table.dense_entries}",
+    )
+    assert table.memory_entries < table.dense_entries / 4
+    # Every n needs only a handful of runs.
+    assert all(len(table.runs_for(n)) <= 8 for n in range(2, N_MAX + 1))
+    # Tail k is small everywhere (converges toward the linear tree).
+    assert all(table.runs_for(n)[-1][1] <= 2 for n in range(2, N_MAX + 1))

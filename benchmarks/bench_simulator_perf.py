@@ -1,0 +1,58 @@
+"""Simulator performance: event-processing throughput.
+
+Unlike the figure benches (one-shot regenerations), these use
+pytest-benchmark's repeated timing to track the DES engine's speed —
+the practical limit on how large a REPRO_FULL protocol can get.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+)
+
+
+def _setup():
+    topology = build_irregular_network(seed=0)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    chain = chain_for(ordering[0], list(ordering[1:]), ordering)
+    simulator = MulticastSimulator(topology, router)
+    return simulator, chain
+
+
+def test_perf_broadcast_8pkt(benchmark):
+    """Full 63-destination broadcast, 8 packets (~1000 NI sends)."""
+    simulator, chain = _setup()
+    tree = build_kbinomial_tree(chain, 2)
+    result = benchmark(simulator.run, tree, 8)
+    assert result.latency > 0
+
+
+def test_perf_broadcast_32pkt(benchmark):
+    """Stress case: 63 destinations x 32 packets (~4000 NI sends)."""
+    simulator, chain = _setup()
+    tree = build_kbinomial_tree(chain, 2)
+    result = benchmark.pedantic(simulator.run, args=(tree, 32), rounds=3, iterations=1)
+    assert result.latency > 0
+
+
+def test_perf_route_computation(benchmark):
+    """Cold-cache all-pairs route computation on one topology."""
+    topology = build_irregular_network(seed=3)
+
+    def compute():
+        router = UpDownRouter(topology)
+        hosts = topology.hosts
+        for a in hosts[:16]:
+            for b in hosts[16:32]:
+                router.route(a, b)
+        return router
+
+    router = benchmark(compute)
+    assert router.hop_count(topology.hosts[0], topology.hosts[20]) >= 2

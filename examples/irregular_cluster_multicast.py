@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Scenario: data distribution on a NOW-style irregular cluster.
+
+A parallel application on a 64-node workstation cluster broadcasts
+parameter blocks of different sizes to worker subsets of different
+sizes.  For each (workers, message size) pair this script selects the
+optimal k-binomial tree, simulates it against the binomial and linear
+baselines, and reports where each tree wins — the crossover structure
+that motivates Theorem 3.
+
+Run:  python examples/irregular_cluster_multicast.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_binomial_tree,
+    build_irregular_network,
+    build_kbinomial_tree,
+    build_linear_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table
+
+
+def main() -> None:
+    topology = build_irregular_network(seed=3)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    simulator = MulticastSimulator(topology, router)
+    rng = random.Random(11)
+
+    rows = []
+    for workers in (8, 24, 48, 63):
+        for message_bytes in (64, 512, 2048):
+            m = simulator.params.packets_for(message_bytes)
+            picked = rng.sample(list(topology.hosts), workers + 1)
+            chain = chain_for(picked[0], picked[1:], ordering)
+            n = len(chain)
+            k = optimal_k(n, m)
+
+            kbin = simulator.run(build_kbinomial_tree(chain, k), m).latency
+            bino = simulator.run(build_binomial_tree(chain), m).latency
+            line = simulator.run(build_linear_tree(chain), m).latency
+            best = min(("k-binomial", kbin), ("binomial", bino), ("linear", line), key=lambda t: t[1])
+            rows.append(
+                [workers, message_bytes, m, k, round(kbin, 1), round(bino, 1), round(line, 1), best[0]]
+            )
+
+    print(
+        render_table(
+            ["workers", "bytes", "pkts", "opt k", "k-binomial us", "binomial us", "linear us", "winner"],
+            rows,
+            title="Parameter distribution on a 64-node irregular cluster",
+        )
+    )
+    print(
+        "\nNote how the optimal k (and the winning tree) shifts from the\n"
+        "binomial shape on short messages toward low-fan-out pipelines as\n"
+        "the packet count grows — the central observation of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

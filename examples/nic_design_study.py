@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scenario: choosing the NI forwarding discipline (§2-§3 design study).
+
+A NIC designer must pick between host-level forwarding (conventional),
+FCFS, and FPFS coprocessor forwarding.  This script measures, on the
+same 64-host network and multicast workload:
+
+* end-to-end multicast latency under all three disciplines, and
+* the peak per-NI forwarding buffer each needs,
+
+as the message length grows — reproducing the §3.3 argument that FPFS
+dominates FCFS in buffer demand while also being at least as fast, and
+quantifying the cost of not having smart NI support at all.
+
+Run:  python examples/nic_design_study.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    ConventionalInterface,
+    FCFSInterface,
+    FPFSInterface,
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table
+from repro.core import compare_buffers
+
+
+def main() -> None:
+    topology = build_irregular_network(seed=5)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(23)
+    picked = rng.sample(list(topology.hosts), 32)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    n = len(chain)
+
+    rows = []
+    for m in (1, 4, 16, 32):
+        tree = build_kbinomial_tree(chain, optimal_k(n, m))
+        row = [m]
+        for ni in (ConventionalInterface, FCFSInterface, FPFSInterface):
+            result = MulticastSimulator(topology, router, ni_class=ni).run(tree, m)
+            row.extend([round(result.latency, 1), result.max_intermediate_buffer])
+        rows.append(row)
+
+    print(
+        render_table(
+            ["pkts", "conv us", "buf", "FCFS us", "buf", "FPFS us", "buf"],
+            rows,
+            title="NI discipline study: latency and peak intermediate NI buffer (packets)",
+        )
+    )
+
+    print("\nAnalytic §3.3.2 residency (children=3), in units of t_sq:")
+    analytic = [
+        [p, compare_buffers(3, p).fcfs, compare_buffers(3, p).fpfs]
+        for p in (1, 4, 16, 32)
+    ]
+    print(render_table(["pkts", "FCFS residency", "FPFS residency"], analytic))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Explore the optimal-k table a smart NI would carry (§4.3.1, §5.1).
+
+Prints, for a 64-host system, the (m breakpoint -> k) runs for several
+multicast set sizes, the total table footprint versus a dense n x m
+table, and the predicted step counts behind one concrete choice.
+
+Run:  python examples/optimal_k_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro import OptimalKTable, min_k_binomial, optimal_k, predicted_steps
+from repro.analysis import render_table
+
+
+def main() -> None:
+    table = OptimalKTable(n_max=64, m_max=32)
+
+    rows = []
+    for n in (8, 16, 32, 48, 64):
+        runs = " ".join(f"m>={m}:k={k}" for m, k in table.runs_for(n))
+        rows.append([n, runs])
+    print(render_table(["n", "optimal-k runs"], rows, title="Optimal-k breakpoints (n up to 64, m up to 32)"))
+
+    print(
+        f"\ntable footprint: {table.memory_entries} entries "
+        f"(dense table would need {table.dense_entries})"
+    )
+
+    n, m = 64, 8
+    print(f"\nwhy k={optimal_k(n, m)} for n={n}, m={m}:")
+    detail = [
+        [k, predicted_steps(n, k, 1), predicted_steps(n, k, m)]
+        for k in range(1, min_k_binomial(n) + 1)
+    ]
+    print(render_table(["k", "T1 steps (m=1)", f"total steps (m={m})"], detail))
+
+
+if __name__ == "__main__":
+    main()

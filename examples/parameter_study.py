@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Scenario: an ad-hoc design-space sweep with the generic sweep utility.
+
+Question a system architect might ask: *how sensitive is the k-binomial
+advantage to NI send overhead?*  Faster NIs shrink the per-step cost
+and with it the absolute win; this sweep varies ``t_ns`` and the
+message length over a fixed 31-destination multicast and tabulates the
+binomial/k-binomial latency ratio at each grid point.
+
+Run:  python examples/parameter_study.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    MulticastSimulator,
+    PAPER_PARAMS,
+    UpDownRouter,
+    build_binomial_tree,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table, sweep, sweep_table
+
+
+def main() -> None:
+    topology = build_irregular_network(seed=4)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(17)
+    picked = rng.sample(list(topology.hosts), 32)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    n = len(chain)
+
+    def ratio(t_ns: float, m: int) -> float:
+        params = PAPER_PARAMS.with_(t_ns=t_ns)
+        simulator = MulticastSimulator(topology, router, params=params)
+        kbin = simulator.run(build_kbinomial_tree(chain, optimal_k(n, m)), m).latency
+        bino = simulator.run(build_binomial_tree(chain), m).latency
+        return round(bino / kbin, 2)
+
+    points = sweep(ratio, {"t_ns": [1.0, 3.0, 6.0], "m": [2, 8, 32]})
+    headers, rows = sweep_table(points, value_name="binomial/kbinomial")
+    print(
+        render_table(
+            headers,
+            rows,
+            title=f"k-binomial advantage vs NI send overhead ({n - 1} destinations)",
+        )
+    )
+    print(
+        "\nThe ratio is driven by the pipeline-step count, so it holds up\n"
+        "across NI speeds; absolute latencies (not shown) scale with t_ns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: the collective phase of an SPMD iteration (future work, §7).
+
+An iterative SPMD solver on the 64-node cluster alternates:
+
+1. the master *broadcasts* updated parameters (multicast to all),
+2. the master *scatters* per-worker input blocks (personalized),
+3. workers *gather* partial results back to the master,
+4. four independent subgroups each run their own *multicast*
+   concurrently (multiple multicast).
+
+All four collectives run over FPFS smart NIs on the same fabric; this
+is the "other collective operations" direction the paper's conclusion
+points at, built from the multicast machinery.
+
+Run:  python examples/spmd_collectives.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+    optimal_k,
+)
+from repro.analysis import render_table
+from repro.mcast import broadcast, gather, multiple_multicast, scatter
+
+
+def main() -> None:
+    topology = build_irregular_network(seed=12)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    simulator = MulticastSimulator(topology, router)
+    master = ordering[0]
+    workers = [h for h in ordering if h != master]
+
+    rows = []
+
+    # 1. Parameter broadcast: 512 bytes to all 63 workers.
+    m = simulator.params.packets_for(512)
+    b = broadcast(simulator, master, ordering, m)
+    rows.append(["broadcast 512B -> 63 workers", round(b.latency, 1)])
+
+    # 2. Scatter: 256 bytes of private input per worker, relayed over
+    #    the multicast tree vs sent directly.
+    chain = chain_for(master, workers, ordering)
+    tree = build_kbinomial_tree(chain, optimal_k(len(chain), m))
+    mp = simulator.params.packets_for(256)
+    s_tree = scatter(simulator, tree, mp, strategy="tree")
+    s_direct = scatter(simulator, tree, mp, strategy="direct")
+    rows.append(["scatter 256B/worker (tree relay)", round(s_tree.makespan, 1)])
+    rows.append(["scatter 256B/worker (direct)", round(s_direct.makespan, 1)])
+
+    # 3. Gather: 128 bytes of partial results per worker.
+    g = gather(simulator, master, workers[:32], simulator.params.packets_for(128))
+    rows.append(["gather 128B x 32 workers", round(g.makespan, 1)])
+
+    # 4. Four disjoint 15-way subgroup multicasts, concurrently.
+    groups = [(ordering[i * 16], ordering[i * 16 + 1 : (i + 1) * 16]) for i in range(4)]
+    mm = multiple_multicast(simulator, groups, ordering, m)
+    rows.append(["4 concurrent 15-way multicasts (makespan)", round(mm.makespan, 1)])
+
+    print(render_table(["collective", "latency (us)"], rows, title="SPMD collective phase on 64 nodes (FPFS NIs)"))
+
+
+if __name__ == "__main__":
+    main()

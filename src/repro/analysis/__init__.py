@@ -1,0 +1,48 @@
+"""Experiment harness: figure drivers, statistics, table rendering."""
+
+from .experiments import (
+    ExperimentConfig,
+    fig12a_optimal_k,
+    fig12b_optimal_k,
+    fig13a_latency_vs_m,
+    fig13b_latency_vs_n,
+    fig14a_comparison_vs_m,
+    fig14b_comparison_vs_n,
+    full_protocol_requested,
+    sweep_latencies,
+    sweep_latency,
+    sweep_latency_summary,
+)
+from .breakdown import LatencyBreakdown, run_breakdown
+from .export import series_to_csv, write_csv
+from .plot import ascii_plot
+from .stats import Summary, summarize
+from .sweep import SweepPoint, sweep, sweep_table
+from .tables import render_comparison, render_series, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "LatencyBreakdown",
+    "Summary",
+    "SweepPoint",
+    "ascii_plot",
+    "fig12a_optimal_k",
+    "fig12b_optimal_k",
+    "fig13a_latency_vs_m",
+    "fig13b_latency_vs_n",
+    "fig14a_comparison_vs_m",
+    "fig14b_comparison_vs_n",
+    "full_protocol_requested",
+    "render_comparison",
+    "render_series",
+    "render_table",
+    "run_breakdown",
+    "series_to_csv",
+    "summarize",
+    "sweep",
+    "sweep_latencies",
+    "sweep_latency",
+    "sweep_latency_summary",
+    "sweep_table",
+    "write_csv",
+]

@@ -1,0 +1,107 @@
+"""Latency breakdown: where a multicast's microseconds go.
+
+:func:`run_breakdown` re-runs one multicast with tracing enabled and
+decomposes the aggregate work into the §2.5 cost components:
+
+* host start-up (``t_s``, once per multicast at the source);
+* NI injection overhead (``t_ns`` per send);
+* network occupancy (header routing + wire time per send, from the
+  actual route lengths);
+* channel blocking (time spent waiting on busy channels — the price of
+  contention, zero for a depth contention-free tree on an idle fabric);
+* NI receive overhead (``t_nr`` per receive);
+* host receive (``t_r``, once per destination, paid after the NI).
+
+The *aggregate* components sum over all packet transmissions (they
+explain total work, not the critical path); ``critical_path_estimate``
+scales them onto the measured latency for a per-component share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.trees import MulticastTree
+from ..mcast.simulator import MulticastResult, MulticastSimulator
+
+__all__ = ["LatencyBreakdown", "run_breakdown"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Aggregate component times (µs) for one simulated multicast."""
+
+    result: MulticastResult
+    host_startup: float
+    injection: float
+    network: float
+    blocking: float
+    receive: float
+    host_receive: float
+    sends: int
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all aggregate components."""
+        return (
+            self.host_startup
+            + self.injection
+            + self.network
+            + self.blocking
+            + self.receive
+            + self.host_receive
+        )
+
+    def shares(self) -> Dict[str, float]:
+        """Each component's fraction of the total work."""
+        total = self.total_work
+        return {
+            "host_startup": self.host_startup / total,
+            "injection": self.injection / total,
+            "network": self.network / total,
+            "blocking": self.blocking / total,
+            "receive": self.receive / total,
+            "host_receive": self.host_receive / total,
+        }
+
+
+def run_breakdown(
+    simulator: MulticastSimulator, tree: MulticastTree, num_packets: int
+) -> LatencyBreakdown:
+    """Simulate ``tree`` with tracing and decompose the work.
+
+    Uses a tracing clone of ``simulator`` (same topology/router/params/
+    discipline) so the caller's simulator configuration is preserved.
+    """
+    traced = MulticastSimulator(
+        simulator.topology,
+        simulator.router,
+        params=simulator.params,
+        ni_class=simulator.ni_class,
+        collect_trace=True,
+        host_speed=simulator.host_speed,
+        send_policy=simulator.send_policy,
+        ni_ports=simulator.ni_ports,
+    )
+    result = traced.run(tree, num_packets)
+    trace = traced.last_trace
+    params = simulator.params
+
+    sends = list(trace.select("ni_send"))
+    receives = trace.count("ni_recv")
+    network = 0.0
+    for record in sends:
+        hops = len(simulator.router.route(record["src"], record["dst"]))
+        network += hops * params.t_switch + params.wire_time
+
+    return LatencyBreakdown(
+        result=result,
+        host_startup=params.t_s,
+        injection=len(sends) * params.t_ns,
+        network=network,
+        blocking=result.blocked_time,
+        receive=receives * params.t_nr,
+        host_receive=params.t_r,
+        sends=len(sends),
+    )

@@ -1,0 +1,41 @@
+"""CSV export of figure series: data that leaves the terminal.
+
+The table/plot renderers target a TTY; this module writes the same
+series as CSV so results can be re-plotted or diffed externally (the
+CLI's ``--csv`` option routes through here).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["write_csv", "series_to_csv"]
+
+
+def write_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
+    """Write ``headers``/``rows`` to ``path``; returns the Path written."""
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target
+
+
+def series_to_csv(
+    path,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write a figure (x column + one column per curve) as CSV."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length {len(ys)} != {len(x_values)}")
+    headers = [x_label] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(x_values)
+    ]
+    return write_csv(path, headers, rows)

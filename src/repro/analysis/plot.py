@@ -1,0 +1,92 @@
+"""ASCII line plots: terminal renderings of the paper's figures.
+
+The benches print numeric series; :func:`ascii_plot` turns the same
+series into a quick visual — axes scaled to the data, one glyph per
+curve, legend below — so the *shape* claims (crossovers, plateaus,
+divergence) are visible at a glance in ``bench_output.txt``::
+
+    latency (us)
+    826.0 |                                            b
+          |
+          |                              b
+          |                    b                       k
+    ...
+     59.0 |bk   k        k                k
+          +------------------------------------------------
+           m=1                                        m=32
+    b = binomial   k = k-binomial
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_plot"]
+
+_GLYPHS = "ox*#@+%&"
+
+
+def ascii_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name -> y values over ``x_values``) as ASCII.
+
+    Points map to a ``width x height`` character grid; colliding points
+    show the later series' glyph.  Values may be any real numbers; a
+    flat series renders on the middle row.
+    """
+    if not x_values:
+        raise ValueError("x_values must not be empty")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length {len(ys)} != {len(x_values)}")
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(x_values), max(x_values)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in zip(x_values, ys):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    label_width = max(len(f"{y_max:.1f}"), len(f"{y_min:.1f}"))
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_max:.1f}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_min:.1f}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  {x_min:g}"
+        + " " * max(1, width - len(f"{x_min:g}") - len(f"{x_max:g}") - 2)
+        + f"{x_max:g}"
+    )
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Small statistics helpers for experiment aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean/spread of one measured series."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / math.sqrt(self.count) if self.count > 1 else 0.0
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Normal-approximation 95% confidence half-width."""
+        return 1.96 * self.sem
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values`` (population std, n >= 1)."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return Summary(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        count=n,
+    )

@@ -1,0 +1,62 @@
+"""Generic parameter sweeps with deterministic seeding.
+
+:func:`sweep` runs a measurement function over the cross product of
+named parameter grids, yielding flat result records that render
+directly through :func:`repro.analysis.tables.render_table` or load
+into numpy for analysis.  All experiment drivers could be phrased this
+way; the figure drivers keep their explicit shapes for readability, and
+this utility serves ad-hoc exploration (see
+``examples/parameter_study.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["SweepPoint", "sweep", "sweep_table"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point and its measured value."""
+
+    params: Dict[str, object]
+    value: object
+
+    def __getitem__(self, key: str) -> object:
+        return self.params[key]
+
+
+def sweep(
+    measure: Callable[..., object],
+    grids: Mapping[str, Iterable],
+    progress: Callable[[Dict[str, object]], None] = None,
+) -> List[SweepPoint]:
+    """Evaluate ``measure(**point)`` over the cross product of ``grids``.
+
+    Grid order is preserved: the *last* grid varies fastest, matching
+    nested-loop intuition.  ``progress`` (if given) is called with each
+    point's parameters before measuring — handy for long sweeps.
+    """
+    names = list(grids)
+    values = [list(grids[name]) for name in names]
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*values):
+        params = dict(zip(names, combo))
+        if progress is not None:
+            progress(params)
+        points.append(SweepPoint(params=params, value=measure(**params)))
+    return points
+
+
+def sweep_table(
+    points: Sequence[SweepPoint], value_name: str = "value"
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) for rendering a sweep with ``render_table``."""
+    if not points:
+        raise ValueError("no sweep points to tabulate")
+    headers = list(points[0].params) + [value_name]
+    rows = [list(p.params.values()) + [p.value] for p in points]
+    return headers, rows

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment series (the "figures" of a TTY).
+
+Every benchmark prints its paper artifact through these helpers so the
+regenerated rows/series are legible in CI logs and in
+``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+__all__ = ["render_table", "render_series", "render_comparison"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """A figure as a table: one x column, one column per curve."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    x_label: str,
+    x_values: Sequence,
+    baseline: Sequence[float],
+    contender: Sequence[float],
+    baseline_name: str = "binomial",
+    contender_name: str = "k-binomial",
+    title: str = "",
+) -> str:
+    """Two curves plus their ratio column (the paper's 'factor of 2')."""
+    ratios = [b / c if c else float("inf") for b, c in zip(baseline, contender)]
+    return render_series(
+        x_label,
+        x_values,
+        {baseline_name: baseline, contender_name: contender, "ratio": ratios},
+        title=title,
+    )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,344 @@
+"""Command-line interface: regenerate figures and run one-off simulations.
+
+Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
+``python -m repro.cli``.  Subcommands::
+
+    repro-mcast fig12a              # optimal k vs m (analytic)
+    repro-mcast fig12b              # optimal k vs n (analytic)
+    repro-mcast fig13a [--full]     # simulated latency vs m
+    repro-mcast fig13b [--full]
+    repro-mcast fig14a [--full]     # binomial vs k-binomial vs m
+    repro-mcast fig14b [--full]
+    repro-mcast optimal-k -n 64 -m 8
+    repro-mcast tree -n 16 -k 3     # draw the Fig. 11 construction
+    repro-mcast simulate --dests 15 --bytes 512 [--tree binomial] [--ni fcfs]
+    repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
+    repro-mcast decoster --bytes 4096
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from .analysis import (
+    ExperimentConfig,
+    fig12a_optimal_k,
+    fig12b_optimal_k,
+    fig13a_latency_vs_m,
+    fig13b_latency_vs_n,
+    fig14a_comparison_vs_m,
+    fig14b_comparison_vs_n,
+    render_comparison,
+    render_series,
+    render_table,
+)
+from .core import (
+    build_kbinomial_tree,
+    min_k_binomial,
+    optimal_k,
+    predicted_steps,
+    render_tree,
+)
+from .machine import Machine
+
+__all__ = ["main"]
+
+
+def _config(args) -> ExperimentConfig:
+    if args.full:
+        return ExperimentConfig.paper()
+    return ExperimentConfig(
+        n_topologies=args.topologies, n_dest_sets=args.dest_sets, seed=args.seed
+    )
+
+
+def _maybe_csv(args, x_label, x_values, series) -> None:
+    csv_path = getattr(args, "csv", None)
+    if csv_path:
+        from .analysis import series_to_csv
+
+        written = series_to_csv(csv_path, x_label, x_values, series)
+        print(f"wrote {written}")
+
+
+def _cmd_fig12a(args) -> None:
+    m_values = tuple(range(1, args.max_m + 1))
+    data = fig12a_optimal_k(m_values=m_values)
+    series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
+    print(
+        render_series(
+            "m",
+            list(m_values),
+            series,
+            title="Fig. 12(a): optimal k vs number of packets",
+        )
+    )
+    _maybe_csv(args, "m", list(m_values), series)
+
+
+def _cmd_fig12b(args) -> None:
+    n_values = tuple(range(2, 65))
+    data = fig12b_optimal_k(n_values=n_values)
+    print(
+        render_series(
+            "n",
+            list(n_values),
+            {f"{m} pkt": data[m] for m in sorted(data)},
+            title="Fig. 12(b): optimal k vs multicast set size",
+        )
+    )
+
+
+def _cmd_fig13a(args) -> None:
+    config = _config(args)
+    data = fig13a_latency_vs_m(config)
+    m_values = (1, 2, 4, 8, 16, 24, 32)
+    series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
+    print(
+        render_series(
+            "m",
+            list(m_values),
+            series,
+            title="Fig. 13(a): k-binomial latency (us) vs packets",
+        )
+    )
+    _maybe_csv(args, "m", list(m_values), series)
+
+
+def _cmd_fig13b(args) -> None:
+    config = _config(args)
+    data = fig13b_latency_vs_n(config)
+    dests = (7, 15, 23, 31, 39, 47, 55, 63)
+    print(
+        render_series(
+            "dests",
+            list(dests),
+            {f"{m} pkt": data[m] for m in sorted(data, reverse=True)},
+            title="Fig. 13(b): k-binomial latency (us) vs set size",
+        )
+    )
+
+
+def _cmd_fig14a(args) -> None:
+    config = _config(args)
+    data = fig14a_comparison_vs_m(config)
+    m_values = (1, 2, 4, 8, 16, 24, 32)
+    for d, curves in data.items():
+        print(
+            render_comparison(
+                "m",
+                list(m_values),
+                curves["binomial"],
+                curves["kbinomial"],
+                title=f"Fig. 14(a): {d} destinations",
+            )
+        )
+        print()
+
+
+def _cmd_fig14b(args) -> None:
+    config = _config(args)
+    data = fig14b_comparison_vs_n(config)
+    dests = (7, 15, 23, 31, 39, 47, 55, 63)
+    for m, curves in data.items():
+        print(
+            render_comparison(
+                "dests",
+                list(dests),
+                curves["binomial"],
+                curves["kbinomial"],
+                title=f"Fig. 14(b): {m}-packet messages",
+            )
+        )
+        print()
+
+
+def _cmd_optimal_k(args) -> None:
+    k = optimal_k(args.n, args.m)
+    print(f"optimal k for n={args.n}, m={args.m}: {k}")
+    rows = [
+        [kk, predicted_steps(args.n, kk, args.m)]
+        for kk in range(1, min_k_binomial(args.n) + 1)
+    ]
+    print(render_table(["k", f"steps (m={args.m})"], rows))
+
+
+def _cmd_tree(args) -> None:
+    chain = list(range(args.n))
+    k = args.k if args.k is not None else optimal_k(args.n, args.m)
+    tree = build_kbinomial_tree(chain, k)
+    print(f"{k}-binomial tree over {args.n} nodes (m={args.m}):")
+    print(render_tree(tree))
+
+
+def _cmd_simulate(args) -> None:
+    machine = Machine.irregular(
+        seed=args.seed,
+        ni=args.ni,
+        ordering=args.ordering,
+        ni_ports=args.ports,
+        channel_model=args.channel_model,
+    )
+    rng = random.Random(args.seed + 1)
+    picked = rng.sample(list(machine.hosts), args.dests + 1)
+    result = machine.multicast(picked[0], picked[1:], args.bytes, tree=args.tree)
+    m = machine.packets_for(args.bytes)
+    print(
+        render_table(
+            ["dests", "bytes", "packets", "tree", "NI", "latency us", "peak buf"],
+            [
+                [
+                    args.dests,
+                    args.bytes,
+                    m,
+                    str(args.tree),
+                    args.ni,
+                    round(result.latency, 1),
+                    result.max_intermediate_buffer,
+                ]
+            ],
+            title="multicast on a 64-host irregular network",
+        )
+    )
+
+
+def _cmd_reliable(args) -> None:
+    from .core import build_kbinomial_tree
+    from .mcast import ReliableMulticastSimulator, cco_ordering, chain_for
+    from .network import UpDownRouter, build_irregular_network
+    from .params import PAPER_PARAMS
+
+    topology = build_irregular_network(seed=args.seed)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    rng = random.Random(args.seed + 1)
+    picked = rng.sample(list(topology.hosts), args.dests + 1)
+    chain = chain_for(picked[0], picked[1:], ordering)
+    m = PAPER_PARAMS.packets_for(args.bytes)
+    tree = build_kbinomial_tree(chain, optimal_k(len(chain), m))
+    sim = ReliableMulticastSimulator(
+        topology, router, loss_rate=args.loss, loss_seed=args.seed
+    )
+    result = sim.run(tree, m)
+    print(
+        render_table(
+            ["dests", "packets", "loss rate", "dropped", "latency us"],
+            [[args.dests, m, args.loss, sim.last_dropped, round(result.latency, 1)]],
+            title="reliable FPFS multicast (NACK recovery from parent NI buffers)",
+        )
+    )
+
+
+def _cmd_decoster(args) -> None:
+    from .core import (
+        decoster_latency,
+        decoster_optimal_packet_size,
+        multicast_latency_model,
+        predicted_steps,
+    )
+    from .params import PAPER_PARAMS
+
+    p = PAPER_PARAMS
+    n = args.n
+    m = p.packets_for(args.bytes)
+    smart = multicast_latency_model(predicted_steps(n, optimal_k(n, m), m), p)
+    host_fixed = decoster_latency(n, args.bytes, p.packet_bytes, p)
+    size, host_tuned = decoster_optimal_packet_size(n, args.bytes, p)
+    print(
+        render_table(
+            ["scheme", "packet size B", "latency us"],
+            [
+                ["smart NI (FPFS, k-binomial)", p.packet_bytes, round(smart, 1)],
+                ["host packetization [2] @ fixed", p.packet_bytes, round(host_fixed, 1)],
+                ["host packetization [2] @ tuned", size, round(host_tuned, 1)],
+            ],
+            title=f"smart NI vs De Coster [2] host packetization (n={n}, {args.bytes} B)",
+        )
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mcast",
+        description="Reproduce Kesavan & Panda (ICPP 1997) figures and run multicast sims.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_options(p):
+        p.add_argument("--full", action="store_true", help="paper's 30x10 protocol")
+        p.add_argument("--topologies", type=int, default=3)
+        p.add_argument("--dest-sets", type=int, default=6)
+        p.add_argument("--seed", type=int, default=1997)
+        p.add_argument("--csv", default=None, help="also write the series as CSV")
+
+    p = sub.add_parser("fig12a", help="optimal k vs packets (analytic)")
+    p.add_argument("--max-m", type=int, default=35)
+    p.add_argument("--csv", default=None, help="also write the series as CSV")
+    p.set_defaults(func=_cmd_fig12a)
+
+    p = sub.add_parser("fig12b", help="optimal k vs set size (analytic)")
+    p.set_defaults(func=_cmd_fig12b)
+
+    for name, func, help_text in (
+        ("fig13a", _cmd_fig13a, "k-binomial latency vs packets (simulated)"),
+        ("fig13b", _cmd_fig13b, "k-binomial latency vs set size (simulated)"),
+        ("fig14a", _cmd_fig14a, "binomial vs k-binomial vs packets (simulated)"),
+        ("fig14b", _cmd_fig14b, "binomial vs k-binomial vs set size (simulated)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        add_sim_options(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("optimal-k", help="Theorem 3 fan-out for (n, m)")
+    p.add_argument("-n", type=int, required=True, help="multicast set size")
+    p.add_argument("-m", type=int, required=True, help="number of packets")
+    p.set_defaults(func=_cmd_optimal_k)
+
+    p = sub.add_parser("tree", help="draw a k-binomial tree")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-k", type=int, default=None, help="fan-out cap (default: optimal)")
+    p.add_argument("-m", type=int, default=1, help="packets (for the optimal-k default)")
+    p.set_defaults(func=_cmd_tree)
+
+    p = sub.add_parser("simulate", help="one multicast on the 64-host testbed")
+    p.add_argument("--dests", type=int, default=15)
+    p.add_argument("--bytes", type=int, default=512)
+    p.add_argument("--tree", default="optimal", help="optimal|binomial|linear|flat|<k>")
+    p.add_argument("--ni", default="fpfs", choices=["fpfs", "fcfs", "conventional"])
+    p.add_argument("--ordering", default="cco", choices=["cco", "poc", "random"])
+    p.add_argument("--ports", type=int, default=1, help="NI injection ports")
+    p.add_argument(
+        "--channel-model", default="path", choices=["path", "worm"],
+        help="wormhole occupancy model",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("reliable", help="reliable multicast over lossy links")
+    p.add_argument("--loss", type=float, default=0.05, help="packet loss probability")
+    p.add_argument("--dests", type=int, default=31)
+    p.add_argument("--bytes", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_reliable)
+
+    p = sub.add_parser("decoster", help="compare with De Coster [2] host packetization")
+    p.add_argument("-n", type=int, default=64, help="multicast set size")
+    p.add_argument("--bytes", type=int, default=4096)
+    p.set_defaults(func=_cmd_decoster)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if getattr(args, "tree", None) is not None and str(args.tree).isdigit():
+        args.tree = int(args.tree)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""NI buffer-requirement analysis for FCFS vs FPFS (§3.3.2).
+
+At an intermediate node with ``c`` children forwarding a ``p``-packet
+message, with ``t_sq`` the time to push one packet copy from the NI
+queue to the network and best-case zero inter-arrival delay:
+
+* **FCFS** buffers packet ``i`` until the whole message has gone to the
+  first child (the remaining ``p - i`` packets), all ``p`` packets have
+  gone to children ``2..c-1``, and the first ``i`` packets have gone to
+  the last child::
+
+      T_c(i) = ((p - i + 1) + (c - 2) * p + i) * t_sq  =  ((c - 1) * p + 1) * t_sq
+
+  — independent of ``i`` and linear in the *message* length.
+
+* **FPFS** buffers a packet only until its ``c`` copies are out::
+
+      T_p = c * t_sq
+
+  — independent of the message length entirely.
+
+``T_p <= T_c`` for every ``c >= 1, p >= 1``; equality only at ``p = 1``
+(or the degenerate single-child, single-packet case).  The simulation
+counterpart (peak buffered packets measured by
+:class:`repro.sim.monitor.LevelMonitor` inside the NI models) is
+exercised by the A2 ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["fcfs_buffer_time", "fpfs_buffer_time", "BufferComparison", "compare_buffers"]
+
+
+def _check(children: int, packets: int, t_sq: float) -> None:
+    if children < 1:
+        raise ValueError(f"children must be >= 1, got {children}")
+    if packets < 1:
+        raise ValueError(f"packets must be >= 1, got {packets}")
+    if t_sq <= 0:
+        raise ValueError(f"t_sq must be positive, got {t_sq}")
+
+
+def fcfs_buffer_time(children: int, packets: int, t_sq: float = 1.0, i: int = 1) -> float:
+    """Best-case residence time of packet ``i`` in an FCFS NI buffer.
+
+    ``((p - i + 1) + (c - 2)p + i) * t_sq`` for ``c >= 2``; with a single
+    child the packet leaves after its one copy (`p - i + 1` sends remain
+    ahead of it only in the multi-child case), giving ``(p - i + 1) * t_sq``.
+    """
+    _check(children, packets, t_sq)
+    if not (1 <= i <= packets):
+        raise ValueError(f"packet index i={i} outside [1, {packets}]")
+    if children == 1:
+        return (packets - i + 1) * t_sq
+    return ((packets - i + 1) + (children - 2) * packets + i) * t_sq
+
+
+def fpfs_buffer_time(children: int, packets: int, t_sq: float = 1.0) -> float:
+    """Best-case residence time of any packet in an FPFS NI buffer: ``c * t_sq``."""
+    _check(children, packets, t_sq)
+    return children * t_sq
+
+
+@dataclass(frozen=True)
+class BufferComparison:
+    """FCFS vs FPFS residence times for one (children, packets) point."""
+
+    children: int
+    packets: int
+    t_sq: float
+    fcfs: float
+    fpfs: float
+
+    @property
+    def ratio(self) -> float:
+        """FCFS residence / FPFS residence (>= 1)."""
+        return self.fcfs / self.fpfs
+
+
+def compare_buffers(children: int, packets: int, t_sq: float = 1.0) -> BufferComparison:
+    """§3.3.2 comparison at one design point (packet ``i = 1``)."""
+    return BufferComparison(
+        children=children,
+        packets=packets,
+        t_sq=t_sq,
+        fcfs=fcfs_buffer_time(children, packets, t_sq),
+        fpfs=fpfs_buffer_time(children, packets, t_sq),
+    )

@@ -1,0 +1,72 @@
+"""Structural validation of multicast trees against paper invariants.
+
+Used by tests and by :mod:`repro.mcast.simulator` in strict mode to
+guarantee the tree handed to the NIs is well-formed before timing it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .kbinomial import steps_needed
+from .trees import MulticastTree
+
+__all__ = [
+    "check_covers",
+    "check_fanout_cap",
+    "check_kbinomial_depth",
+    "check_chain_locality",
+]
+
+
+def check_covers(tree: MulticastTree, chain: Sequence) -> None:
+    """Tree spans exactly ``chain`` with ``chain[0]`` as root."""
+    tree.validate()
+    if tree.root != chain[0]:
+        raise ValueError(f"root {tree.root!r} is not the chain head {chain[0]!r}")
+    tree_nodes = set(tree.nodes())
+    chain_nodes = set(chain)
+    if tree_nodes != chain_nodes:
+        missing = chain_nodes - tree_nodes
+        extra = tree_nodes - chain_nodes
+        raise ValueError(f"coverage mismatch: missing={missing!r} extra={extra!r}")
+
+
+def check_fanout_cap(tree: MulticastTree, k: int) -> None:
+    """Definition 1: every node has at most ``k`` children."""
+    for node in tree.nodes():
+        if tree.fanout(node) > k:
+            raise ValueError(f"node {node!r} has fan-out {tree.fanout(node)} > k={k}")
+
+
+def check_kbinomial_depth(tree: MulticastTree, k: int) -> None:
+    """First packet completes within ``T1(n, k)`` steps (Theorem 3)."""
+    budget = steps_needed(len(tree), k)
+    worst = max(tree.first_packet_steps().values())
+    if worst > budget:
+        raise ValueError(f"first packet takes {worst} steps, budget is T1={budget}")
+
+
+def check_chain_locality(tree: MulticastTree, chain: Sequence) -> None:
+    """Fig. 11 property: every subtree covers a *contiguous* chain segment.
+
+    This is what makes the construction contention-free on a
+    contention-free ordering: a node only ever sends rightward into its
+    own segment, so same-step messages live in disjoint segments.
+    """
+    position = {node: index for index, node in enumerate(chain)}
+    for node in tree.nodes():
+        subtree = _subtree_nodes(tree, node)
+        indices = sorted(position[x] for x in subtree)
+        if indices != list(range(indices[0], indices[0] + len(indices))):
+            raise ValueError(f"subtree of {node!r} is not a contiguous chain segment")
+        if position[node] != indices[0]:
+            raise ValueError(f"{node!r} is not the leftmost node of its segment")
+
+
+def _subtree_nodes(tree: MulticastTree, node) -> Iterable:
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(tree.children(current))

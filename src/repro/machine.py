@@ -1,0 +1,266 @@
+"""High-level facade: a simulated parallel machine with one-call collectives.
+
+:class:`Machine` binds together a topology, its router, a base node
+ordering, timing parameters, and an NI forwarding discipline, and
+exposes the operations a user of the paper's system would call —
+``multicast``, ``broadcast``, ``scatter``, ``gather`` — in bytes, with
+tree selection handled automatically (Theorem 3) unless overridden.
+
+    machine = Machine.irregular(seed=0)                  # the paper's testbed
+    result = machine.multicast(machine.hosts[0], machine.hosts[1:16], nbytes=512)
+    print(result.latency)
+
+    torus = Machine.torus(8, 2)                          # 8x8 torus
+    torus.broadcast(torus.hosts[0], nbytes=4096)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .core.kbinomial import build_kbinomial_tree
+from .core.optimal import optimal_k
+from .core.trees import (
+    MulticastTree,
+    build_binomial_tree,
+    build_flat_tree,
+    build_linear_tree,
+)
+from .mcast import collectives
+from .mcast.orderings import (
+    cco_ordering,
+    chain_for,
+    dimension_ordered_chain,
+    poc_ordering,
+    random_ordering,
+)
+from .mcast.simulator import MulticastResult, MulticastSimulator
+from .network.ecube import EcubeRouter
+from .network.irregular import build_irregular_network
+from .network.karyn import KAryNCube
+from .network.topology import Node, Topology
+from .network.updown import UpDownRouter
+from .nic.conventional import ConventionalInterface
+from .nic.fcfs import FCFSInterface
+from .nic.fpfs import FPFSInterface
+from .params import PAPER_PARAMS, SystemParams
+
+__all__ = ["Machine"]
+
+_NI_CLASSES = {
+    "fpfs": FPFSInterface,
+    "fcfs": FCFSInterface,
+    "conventional": ConventionalInterface,
+}
+
+#: Tree selector: a named strategy or an explicit fan-out cap.
+TreeSpec = Union[str, int]
+
+
+class Machine:
+    """A simulated machine: topology + routing + ordering + NIs.
+
+    Construct via :meth:`irregular` or :meth:`torus` (or pass your own
+    pieces to ``__init__`` for custom fabrics).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router,
+        base_ordering: Sequence[Node],
+        params: SystemParams = PAPER_PARAMS,
+        ni: str = "fpfs",
+        ni_ports: int = 1,
+        send_policy: str = "fifo",
+        channel_model: str = "path",
+    ) -> None:
+        if ni not in _NI_CLASSES:
+            raise ValueError(f"unknown NI discipline {ni!r}; choose from {sorted(_NI_CLASSES)}")
+        self.topology = topology
+        self.router = router
+        self.base_ordering = list(base_ordering)
+        self.params = params
+        self.ni = ni
+        self.simulator = MulticastSimulator(
+            topology,
+            router,
+            params=params,
+            ni_class=_NI_CLASSES[ni],
+            ni_ports=ni_ports,
+            send_policy=send_policy,
+            channel_model=channel_model,
+        )
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def irregular(
+        cls,
+        n_switches: int = 16,
+        switch_ports: int = 8,
+        hosts_per_switch: int = 4,
+        seed: int = 0,
+        params: SystemParams = PAPER_PARAMS,
+        ni: str = "fpfs",
+        ordering: str = "cco",
+        **simulator_options,
+    ) -> "Machine":
+        """The paper's testbed: a random irregular switch network.
+
+        ``ordering`` selects the base chain: ``"cco"`` (default),
+        ``"poc"`` (greedy minimal-contention), or ``"random"``.
+        Extra keyword arguments (``ni_ports``, ``send_policy``,
+        ``channel_model``) pass through to the simulator.
+        """
+        topology = build_irregular_network(
+            n_switches=n_switches,
+            switch_ports=switch_ports,
+            hosts_per_switch=hosts_per_switch,
+            seed=seed,
+        )
+        router = UpDownRouter(topology)
+        if ordering == "cco":
+            base = cco_ordering(topology, router)
+        elif ordering == "poc":
+            base = poc_ordering(topology, router)
+        elif ordering == "random":
+            base = random_ordering(topology, seed=seed)
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+        return cls(topology, router, base, params=params, ni=ni, **simulator_options)
+
+    @classmethod
+    def torus(
+        cls,
+        k: int,
+        n: int,
+        wrap: bool = True,
+        params: SystemParams = PAPER_PARAMS,
+        ni: str = "fpfs",
+        **simulator_options,
+    ) -> "Machine":
+        """A k-ary n-cube with e-cube routing and dimension-ordered chain."""
+        cube = KAryNCube(k, n, wrap=wrap)
+        router = EcubeRouter(cube)
+        return cls(
+            cube,
+            router,
+            dimension_ordered_chain(cube),
+            params=params,
+            ni=ni,
+            **simulator_options,
+        )
+
+    @classmethod
+    def fat_tree(
+        cls,
+        levels: int = 3,
+        arity: int = 4,
+        hosts_per_leaf: int = 4,
+        trunks: int = 1,
+        params: SystemParams = PAPER_PARAMS,
+        ni: str = "fpfs",
+        **simulator_options,
+    ) -> "Machine":
+        """A fat tree with up/down routing and a leaf-order base chain.
+
+        The base ordering walks leaf switches left to right — adjacent
+        hosts share a leaf or a nearby subtree, the tree analogue of
+        CCO (subtree traffic stays off the upper trunks).
+        """
+        from .network.fattree import FatTree, FatTreeRouter
+
+        tree = FatTree(
+            levels=levels, arity=arity, hosts_per_leaf=hosts_per_leaf, trunks=trunks
+        )
+        router = FatTreeRouter(tree)
+        ordering = [h for leaf in tree.leaf_switches for h in tree.attached_hosts(leaf)]
+        return cls(tree, router, ordering, params=params, ni=ni, **simulator_options)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def hosts(self) -> tuple:
+        """All hosts in base-ordering order."""
+        return tuple(self.base_ordering)
+
+    def packets_for(self, nbytes: int) -> int:
+        """Packets needed for an ``nbytes`` message at this machine's MTU."""
+        return self.params.packets_for(nbytes)
+
+    # -- tree construction -----------------------------------------------------
+    def tree_for(
+        self,
+        source: Node,
+        destinations: Sequence[Node],
+        num_packets: int,
+        tree: TreeSpec = "optimal",
+    ) -> MulticastTree:
+        """The multicast tree a smart NI layer would choose.
+
+        ``tree`` may be ``"optimal"`` (Theorem 3 k-binomial),
+        ``"binomial"``, ``"linear"``, ``"flat"``, or an integer fan-out
+        cap for an explicit k-binomial tree.
+        """
+        chain = chain_for(source, list(destinations), self.base_ordering)
+        if isinstance(tree, int):
+            return build_kbinomial_tree(chain, tree)
+        if tree == "optimal":
+            return build_kbinomial_tree(chain, optimal_k(len(chain), num_packets))
+        if tree == "binomial":
+            return build_binomial_tree(chain)
+        if tree == "linear":
+            return build_linear_tree(chain)
+        if tree == "flat":
+            return build_flat_tree(chain)
+        raise ValueError(f"unknown tree spec {tree!r}")
+
+    # -- collectives -----------------------------------------------------------
+    def multicast(
+        self,
+        source: Node,
+        destinations: Sequence[Node],
+        nbytes: int,
+        tree: TreeSpec = "optimal",
+    ) -> MulticastResult:
+        """Multicast ``nbytes`` from ``source`` to ``destinations``."""
+        m = self.packets_for(nbytes)
+        return self.simulator.run(self.tree_for(source, destinations, m, tree), m)
+
+    def broadcast(self, source: Node, nbytes: int, tree: TreeSpec = "optimal") -> MulticastResult:
+        """Multicast ``nbytes`` to every other host."""
+        destinations = [h for h in self.base_ordering if h != source]
+        return self.multicast(source, destinations, nbytes, tree)
+
+    def scatter(
+        self,
+        source: Node,
+        destinations: Sequence[Node],
+        nbytes_each: int,
+        strategy: str = "tree",
+    ) -> collectives.CollectiveResult:
+        """Send a distinct ``nbytes_each`` message to every destination."""
+        m = self.packets_for(nbytes_each)
+        tree = self.tree_for(source, destinations, m, "optimal")
+        return collectives.scatter(self.simulator, tree, m, strategy=strategy)
+
+    def gather(
+        self, root: Node, sources: Sequence[Node], nbytes_each: int
+    ) -> collectives.CollectiveResult:
+        """Every source sends ``nbytes_each`` to ``root`` concurrently."""
+        return collectives.gather(self.simulator, root, sources, self.packets_for(nbytes_each))
+
+    def multicast_groups(
+        self, groups, nbytes: int, tree: TreeSpec = "optimal"
+    ) -> collectives.CollectiveResult:
+        """Run several (source, destinations) multicasts concurrently."""
+        m = self.packets_for(nbytes)
+        jobs = [
+            (self.tree_for(source, list(dests), m, tree), m) for source, dests in groups
+        ]
+        return collectives.CollectiveResult(parts=tuple(self.simulator.run_many(jobs)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Machine hosts={len(self.base_ordering)} ni={self.ni!r} "
+            f"topology={type(self.topology).__name__}>"
+        )

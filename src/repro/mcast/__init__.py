@@ -1,0 +1,42 @@
+"""Multicast orchestration: orderings, contention analysis, simulation,
+and collective operations built on top (broadcast, scatter, gather,
+multiple multicast)."""
+
+from .collectives import (
+    CollectiveResult,
+    broadcast,
+    gather,
+    multiple_multicast,
+    scatter,
+)
+from .contention import ContentionReport, channel_sharing, depth_contention
+from .orderings import (
+    chain_contention_score,
+    chain_for,
+    cco_ordering,
+    dimension_ordered_chain,
+    poc_ordering,
+    random_ordering,
+)
+from .reliable import ReliableMulticastSimulator
+from .simulator import MulticastResult, MulticastSimulator
+
+__all__ = [
+    "CollectiveResult",
+    "ContentionReport",
+    "MulticastResult",
+    "MulticastSimulator",
+    "ReliableMulticastSimulator",
+    "broadcast",
+    "chain_contention_score",
+    "chain_for",
+    "channel_sharing",
+    "cco_ordering",
+    "depth_contention",
+    "dimension_ordered_chain",
+    "gather",
+    "multiple_multicast",
+    "poc_ordering",
+    "random_ordering",
+    "scatter",
+]

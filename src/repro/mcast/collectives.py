@@ -1,0 +1,147 @@
+"""Collective operations over smart (FPFS) network interfaces.
+
+The paper's conclusion poses "optimal algorithms for other collective
+communication operations with such packetization and network interface
+support" as future work.  This module builds the obvious candidates on
+top of the multicast machinery:
+
+* :func:`broadcast` — multicast to *every* host of the fabric, over the
+  optimal k-binomial tree for (n, m).
+* :func:`scatter` — personalized data: the source sends a distinct
+  m-packet message to each destination.  Two strategies: ``tree``
+  relays each message along the multicast-tree path NI-to-NI
+  (coprocessor relaying, no host involvement at intermediates), and
+  ``direct`` sends every message straight from the source (separate
+  addressing).  Tree relaying spreads injection pressure; direct
+  serializes everything on the source NI.
+* :func:`gather` — the converse: every destination sends an m-packet
+  message to the root (always direct; the NIs need no replication).
+* :func:`multiple_multicast` — several independent multicasts run
+  concurrently on the shared fabric (the group's companion problem,
+  ICPP'96 [6]); returns per-group results plus the makespan.
+
+All of these run on :meth:`MulticastSimulator.run_many`, so the
+contention between constituent messages is simulated, not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.kbinomial import build_kbinomial_tree
+from ..core.optimal import optimal_k
+from ..core.trees import MulticastTree, build_linear_tree
+from ..network.topology import Node
+from .orderings import chain_for
+from .simulator import MulticastResult, MulticastSimulator
+
+__all__ = ["CollectiveResult", "broadcast", "scatter", "gather", "multiple_multicast"]
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Aggregate outcome of a collective built from several messages."""
+
+    #: Per-constituent-message results, in construction order.
+    parts: Tuple[MulticastResult, ...]
+
+    @property
+    def makespan(self) -> float:
+        """Latency of the collective: the slowest constituent."""
+        return max(part.latency for part in self.parts)
+
+    @property
+    def total_blocked_time(self) -> float:
+        # Channel blocking is pool-global; every part reports the same
+        # figure, so take it once.
+        return self.parts[0].blocked_time if self.parts else 0.0
+
+
+def broadcast(
+    simulator: MulticastSimulator,
+    source: Node,
+    base_ordering: Sequence[Node],
+    num_packets: int,
+    k: Optional[int] = None,
+) -> MulticastResult:
+    """Multicast ``num_packets`` from ``source`` to every other host.
+
+    ``k`` defaults to Theorem 3's optimal value for (n_hosts, m).
+    """
+    destinations = [h for h in base_ordering if h != source]
+    chain = chain_for(source, destinations, base_ordering)
+    fanout = k if k is not None else optimal_k(len(chain), num_packets)
+    tree = build_kbinomial_tree(chain, fanout)
+    return simulator.run(tree, num_packets)
+
+
+def _tree_path(tree: MulticastTree, dest: Node) -> List[Node]:
+    """Root -> dest node path inside the multicast tree."""
+    path = [dest]
+    while path[-1] != tree.root:
+        path.append(tree.parent(path[-1]))
+    path.reverse()
+    return path
+
+
+def scatter(
+    simulator: MulticastSimulator,
+    tree: MulticastTree,
+    packets_per_destination: int,
+    strategy: str = "tree",
+) -> CollectiveResult:
+    """Personalized distribution: one distinct message per destination.
+
+    ``strategy="tree"`` relays each destination's message along its
+    multicast-tree path (linear NI-to-NI pipeline); ``"direct"`` sends
+    every message straight from the source.
+    """
+    if strategy not in ("tree", "direct"):
+        raise ValueError(f"unknown scatter strategy {strategy!r}")
+    jobs = []
+    for dest in tree.destinations():
+        if strategy == "tree":
+            path_tree = build_linear_tree(_tree_path(tree, dest))
+        else:
+            path_tree = build_linear_tree([tree.root, dest])
+        jobs.append((path_tree, packets_per_destination))
+    return CollectiveResult(parts=tuple(simulator.run_many(jobs)))
+
+
+def gather(
+    simulator: MulticastSimulator,
+    root: Node,
+    sources: Sequence[Node],
+    packets_per_source: int,
+) -> CollectiveResult:
+    """Every source sends an m-packet message to ``root`` concurrently."""
+    if not sources:
+        raise ValueError("gather needs at least one source")
+    jobs = [
+        (build_linear_tree([source, root]), packets_per_source) for source in sources
+    ]
+    return CollectiveResult(parts=tuple(simulator.run_many(jobs)))
+
+
+def multiple_multicast(
+    simulator: MulticastSimulator,
+    groups: Sequence[Tuple[Node, Sequence[Node]]],
+    base_ordering: Sequence[Node],
+    num_packets: int,
+    k: Optional[int] = None,
+) -> CollectiveResult:
+    """Run several independent multicasts concurrently.
+
+    ``groups`` is a sequence of (source, destinations); each group gets
+    its own k-binomial tree on the shared base ordering, and all inject
+    at time zero.
+    """
+    if not groups:
+        raise ValueError("multiple_multicast needs at least one group")
+    jobs = []
+    for source, destinations in groups:
+        chain = chain_for(source, list(destinations), base_ordering)
+        fanout = k if k is not None else optimal_k(len(chain), num_packets)
+        jobs.append((build_kbinomial_tree(chain, fanout), num_packets))
+    return CollectiveResult(parts=tuple(simulator.run_many(jobs)))

@@ -1,0 +1,103 @@
+"""Depth-contention analysis of multicast trees (§4.3.2).
+
+A multicast tree is *depth contention-free* [9] when messages sent in
+the same step map to pairwise channel-disjoint network paths.  With
+wormhole switching a shared channel serializes the two transmissions
+(and back-pressures everything behind them), so contention directly
+inflates the measured step time.
+
+:func:`depth_contention` scores a tree against a router: for every step
+of the first-packet schedule it counts the pairs of same-step messages
+whose routes share a channel.  Zero means depth contention-free.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Tuple
+
+from ..core.trees import MulticastTree
+
+__all__ = ["ContentionReport", "depth_contention", "channel_sharing"]
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Result of a depth-contention analysis.
+
+    Attributes
+    ----------
+    conflicting_pairs:
+        Same-step message pairs whose routes share >= 1 channel.
+    pairs_checked:
+        Total same-step pairs examined.
+    conflicts_by_step:
+        step -> number of conflicting pairs in that step.
+    shared_channels:
+        Channels involved in at least one same-step conflict.
+    """
+
+    conflicting_pairs: int
+    pairs_checked: int
+    conflicts_by_step: Dict[int, int]
+    shared_channels: Tuple
+
+    @property
+    def is_contention_free(self) -> bool:
+        return self.conflicting_pairs == 0
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of same-step pairs that conflict (0 if none checked)."""
+        return self.conflicting_pairs / self.pairs_checked if self.pairs_checked else 0.0
+
+
+def depth_contention(tree: MulticastTree, router) -> ContentionReport:
+    """Check pairwise channel-disjointness of same-step sends.
+
+    ``router`` needs a ``route(src_host, dst_host) -> [channel keys]``
+    method (both :class:`~repro.network.updown.UpDownRouter` and
+    :class:`~repro.network.ecube.EcubeRouter` qualify).
+    """
+    recv_step = tree.first_packet_steps()
+    by_step: Dict[int, List[Tuple]] = defaultdict(list)
+    for parent, child in tree.edges():
+        by_step[recv_step[child]].append((parent, child))
+
+    conflicting = 0
+    checked = 0
+    conflicts_by_step: Dict[int, int] = {}
+    shared: set = set()
+    for step, sends in sorted(by_step.items()):
+        step_conflicts = 0
+        routes = {(u, v): set(router.route(u, v)) for (u, v) in sends}
+        for (send_a, send_b) in combinations(sends, 2):
+            checked += 1
+            overlap = routes[send_a] & routes[send_b]
+            if overlap:
+                step_conflicts += 1
+                shared.update(overlap)
+        if step_conflicts:
+            conflicts_by_step[step] = step_conflicts
+        conflicting += step_conflicts
+    return ContentionReport(
+        conflicting_pairs=conflicting,
+        pairs_checked=checked,
+        conflicts_by_step=dict(conflicts_by_step),
+        shared_channels=tuple(sorted(shared)),
+    )
+
+
+def channel_sharing(tree: MulticastTree, router) -> Dict:
+    """How many tree edges use each network channel (step-agnostic).
+
+    A channel used by many tree edges is a hot spot even if the edges
+    fire in different steps (they still serialize under pipelining).
+    """
+    usage: Dict = defaultdict(int)
+    for parent, child in tree.edges():
+        for channel in router.route(parent, child):
+            usage[channel] += 1
+    return dict(usage)

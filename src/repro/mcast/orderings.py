@@ -1,0 +1,181 @@
+"""Contention-free (and baseline) orderings of participating nodes (§4.3.2).
+
+An *ordering* Φ of the hosts is contention-free when, for any
+``a ≺ b ≺ c ≺ d`` in the chain, messages ``a→b`` and ``c→d`` share no
+network channel.  The Fig. 11 construction then yields depth
+contention-free k-binomial trees, because every send goes rightward
+into the sender's own chain segment.
+
+Implemented orderings:
+
+* :func:`cco_ordering` — Chain Concatenated Ordering for irregular
+  up*/down* networks (HPCA'97, see DESIGN.md §5 for the fidelity note):
+  a depth-first traversal of the up*/down* BFS spanning tree emits each
+  switch's attached-host chain as it is first visited, concatenating
+  per-switch chains in DFS order.  No contention-free ordering exists
+  for general up*/down* networks (the paper cites [5]), so CCO is a
+  minimal-contention ordering, not a zero-contention one.
+* :func:`dimension_ordered_chain` — lexicographic coordinate order on a
+  k-ary n-cube; with e-cube routing this is the classic contention-free
+  dimension-ordered chain [9].
+* :func:`random_ordering` — seeded shuffle; the ablation baseline that
+  quantifies how much ordering matters.
+
+:func:`chain_for` restricts a base ordering to one multicast's
+participants, rotated so the source leads the chain.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..network.karyn import KAryNCube
+from ..network.topology import Node, Topology
+from ..network.updown import UpDownRouter
+
+__all__ = [
+    "cco_ordering",
+    "dimension_ordered_chain",
+    "poc_ordering",
+    "random_ordering",
+    "chain_for",
+    "chain_contention_score",
+]
+
+
+def cco_ordering(topology: Topology, router: UpDownRouter) -> List[Node]:
+    """Chain Concatenated Ordering of all hosts of an irregular network.
+
+    Depth-first traversal of the BFS spanning tree used by ``router``,
+    children visited in ascending switch id; each switch contributes its
+    attached hosts (in attachment order) when first visited.  Hosts on
+    the same switch are adjacent in the chain (they share no
+    switch-to-switch channels), and nearby switches in the DFS stay
+    within one subtree of the up*/down* hierarchy, which is what keeps
+    chain-local traffic off the rest of the fabric.
+    """
+    tree_children: dict[Node, list[Node]] = {sw: [] for sw in topology.switches}
+    for sw in topology.switches:
+        if sw == router.root:
+            continue
+        # BFS parent: the up-neighbour on the lowest level (ties: lowest id).
+        parent = min(
+            (n for n in topology.switch_neighbors(sw) if router.level[n] < router.level[sw]),
+            key=lambda n: (router.level[n], n[1]),
+        )
+        tree_children[parent].append(sw)
+    for children in tree_children.values():
+        children.sort()
+
+    ordering: List[Node] = []
+    stack = [router.root]
+    while stack:
+        sw = stack.pop()
+        ordering.extend(topology.attached_hosts(sw))
+        stack.extend(reversed(tree_children[sw]))
+    if len(ordering) != len(topology.hosts):
+        raise RuntimeError("CCO traversal missed hosts; switch fabric disconnected?")
+    return ordering
+
+
+def dimension_ordered_chain(cube: KAryNCube) -> List[Node]:
+    """Hosts of a k-ary n-cube in lexicographic coordinate order.
+
+    Sort key: coordinates with the *highest* dimension most significant,
+    so processors first advance through dimension 0 — the same order
+    e-cube corrects dimensions in, which is what makes chain-local
+    messages channel-disjoint.
+    """
+    hosts = list(cube.hosts)
+    hosts.sort(key=lambda h: tuple(reversed(cube.coords(h[1]))))
+    return hosts
+
+
+def random_ordering(topology: Topology, seed: int = 0) -> List[Node]:
+    """Seeded random permutation of all hosts (ablation baseline)."""
+    hosts = list(topology.hosts)
+    random.Random(seed).shuffle(hosts)
+    return hosts
+
+
+def poc_ordering(topology: Topology, router) -> List[Node]:
+    """A Partial-Ordered-Chain-style greedy minimal-contention ordering.
+
+    §4.3.2 cites POC [5] as the way to build orderings with *minimal*
+    contention on up*/down*-routed irregular networks (where no fully
+    contention-free ordering exists).  Faithful to that goal — the full
+    HPCA'97 construction is not reproducible from the available text,
+    see DESIGN.md §5 — this greedy variant builds the chain left to
+    right, always appending the host whose route from the current tail
+    shares the fewest channels with the routes of all chain links
+    placed so far (ties: shorter route, then lower id).  Adjacent chain
+    links are what the Fig. 11 construction turns into same-step
+    messages, so minimizing their overlap minimizes depth contention.
+    """
+    remaining = set(topology.hosts)
+    # Start where CCO starts: a host on the routing root's switch, so
+    # early (high-fan-out) sends leave from the best-connected switch.
+    root_hosts = [h for h in topology.hosts if topology.host_switch(h) == router.root]
+    current = min(root_hosts) if root_hosts else min(remaining)
+    ordering = [current]
+    remaining.discard(current)
+    used_channels: dict = {}
+
+    while remaining:
+        best = None
+        best_key = None
+        for candidate in sorted(remaining):
+            route = router.route(current, candidate)
+            overlap = sum(used_channels.get(ch, 0) for ch in route)
+            key = (overlap, len(route), candidate)
+            if best_key is None or key < best_key:
+                best, best_key = candidate, key
+        route = router.route(current, best)
+        for ch in route:
+            used_channels[ch] = used_channels.get(ch, 0) + 1
+        ordering.append(best)
+        remaining.discard(best)
+        current = best
+    return ordering
+
+
+def chain_contention_score(ordering: Sequence[Node], router) -> int:
+    """How non-contention-free a chain is: overlapping adjacent-link pairs.
+
+    Counts pairs of *disjoint* chain links ``(a_i -> a_{i+1})``,
+    ``(a_j -> a_{j+1})`` (``j > i + 1``) whose routes share a channel —
+    exactly the pairs a contention-free ordering must keep disjoint.
+    Zero for a truly contention-free ordering (e.g. dimension-ordered
+    chains on k-ary n-cubes).
+    """
+    routes = [
+        frozenset(router.route(a, b)) for a, b in zip(ordering, ordering[1:])
+    ]
+    score = 0
+    for i in range(len(routes)):
+        for j in range(i + 2, len(routes)):
+            if routes[i] & routes[j]:
+                score += 1
+    return score
+
+
+def chain_for(source: Node, destinations: Sequence[Node], base_ordering: Sequence[Node]) -> List[Node]:
+    """The multicast chain: source first, then destinations in base order.
+
+    Destinations are sorted by their position in ``base_ordering`` and
+    rotated so those *after* the source come first, wrapping around —
+    preserving base-order adjacency within the chain, which the Fig. 11
+    construction needs for contention-freedom.
+    """
+    position = {node: index for index, node in enumerate(base_ordering)}
+    if source not in position:
+        raise ValueError(f"source {source!r} not in base ordering")
+    missing = [d for d in destinations if d not in position]
+    if missing:
+        raise ValueError(f"destinations not in base ordering: {missing!r}")
+    if source in destinations:
+        raise ValueError("source cannot be a destination")
+    src_pos = position[source]
+    ordered = sorted(destinations, key=lambda d: (position[d] - src_pos) % len(base_ordering))
+    return [source] + ordered

@@ -1,0 +1,273 @@
+"""End-to-end multicast simulation: trees × NIs × wormhole network.
+
+:class:`MulticastSimulator` assembles one simulation per ``run`` call:
+a fresh :class:`~repro.sim.Environment`, one NI per host (of the chosen
+forwarding discipline), a shared :class:`~repro.network.links.ChannelPool`,
+forwarding tables derived from the multicast tree, and the source's
+injection process.  The run ends when the system quiesces (every NI
+engine blocked on an empty queue), at which point every destination NI
+must hold every packet — verified, not assumed.
+
+The reported latency follows the paper's accounting:
+
+    latency = sim completion time + t_r
+
+where the sim already charges the source's ``t_s`` (once, at injection,
+for smart NIs; per forwarded copy inside the run for conventional NIs)
+and the completion time is the moment the *last* destination NI finishes
+receiving the *last* packet.  The final ``t_r`` is the single host
+receive overhead every destination pays after its NI holds the message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Type
+
+from ..core.trees import MulticastTree
+from ..network.links import ChannelPool
+from ..network.topology import Node, Topology
+from ..nic.fpfs import FPFSInterface
+from ..nic.interface import NetworkInterface, NICRegistry
+from ..nic.packets import Message
+from ..params import PAPER_PARAMS, SystemParams
+from ..sim import Environment, Trace
+
+__all__ = ["MulticastResult", "MulticastSimulator"]
+
+
+@dataclass(frozen=True)
+class MulticastResult:
+    """Measurements from one simulated multicast."""
+
+    #: End-to-end latency in µs (completion + t_r; t_s inside the sim).
+    latency: float
+    #: Simulated time at which the last destination NI held the last packet.
+    completion_time: float
+    #: packet index -> time its last destination NI finished receiving it.
+    packet_completion: Tuple[float, ...]
+    #: destination -> time its NI finished receiving the whole message.
+    destination_completion: Dict[Node, float]
+    #: host -> peak packets buffered for forwarding at its NI.
+    peak_buffers: Dict[Node, int]
+    #: Total time packets spent blocked on busy channels (contention).
+    blocked_time: float
+    #: The message that was multicast.
+    message: Message
+
+    @property
+    def max_peak_buffer(self) -> int:
+        """Worst-case NI forwarding buffer across all hosts."""
+        return max(self.peak_buffers.values(), default=0)
+
+    @property
+    def max_intermediate_buffer(self) -> int:
+        """Worst-case forwarding buffer at *intermediate* NIs.
+
+        Excludes the source, whose NI legitimately holds the whole
+        message after the host hand-off; §3.3.2's FCFS-vs-FPFS buffer
+        claim is about forwarding nodes.
+        """
+        return max(
+            (peak for h, peak in self.peak_buffers.items() if h != self.message.source),
+            default=0,
+        )
+
+    @property
+    def packet_intervals(self) -> Tuple[float, ...]:
+        """Gaps between successive packet completions (Theorem 1's k_T·t_step)."""
+        return tuple(
+            b - a for a, b in zip(self.packet_completion, self.packet_completion[1:])
+        )
+
+
+class MulticastSimulator:
+    """Runs packetized multicasts over one topology + router.
+
+    Parameters
+    ----------
+    topology:
+        The network (e.g. :func:`~repro.network.irregular.build_irregular_network`).
+    router:
+        ``route(src_host, dst_host) -> [channel keys]`` provider.
+    params:
+        Timing parameters (defaults to the paper's).
+    ni_class:
+        Forwarding discipline; default FPFS.
+    collect_trace:
+        Keep a full packet-event :class:`~repro.sim.Trace` on each
+        result (costs memory; off by default).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        router,
+        params: SystemParams = PAPER_PARAMS,
+        ni_class: Type[NetworkInterface] = FPFSInterface,
+        collect_trace: bool = False,
+        host_speed: Optional[Dict[Node, float]] = None,
+        send_policy: str = "fifo",
+        ni_ports: int = 1,
+        channel_model: str = "path",
+    ) -> None:
+        from ..nic.scheduling import SEND_POLICIES
+
+        self.topology = topology
+        self.router = router
+        self.params = params
+        self.ni_class = ni_class
+        self.collect_trace = collect_trace
+        if send_policy not in SEND_POLICIES:
+            raise ValueError(
+                f"unknown send_policy {send_policy!r}; choose from {sorted(SEND_POLICIES)}"
+            )
+        self.send_policy = send_policy
+        self._send_queue_cls = SEND_POLICIES[send_policy]
+        if ni_ports < 1:
+            raise ValueError(f"ni_ports must be >= 1, got {ni_ports}")
+        #: Injection ports per NI (1 = the paper's one-port model).
+        self.ni_ports = ni_ports
+        from ..nic.interface import TRANSMITTERS
+
+        if channel_model not in TRANSMITTERS:
+            raise ValueError(
+                f"unknown channel_model {channel_model!r}; choose from {sorted(TRANSMITTERS)}"
+            )
+        #: 'path' = hold the whole route until the tail drains (the
+        #: conservative packet-level model); 'worm' = finite-worm
+        #: sliding-window occupancy (flit-level refinement).
+        self.channel_model = channel_model
+        #: Per-host NI speed factor: host -> multiplier applied to that
+        #: NI's t_ns/t_nr (2.0 = a straggler coprocessor twice as slow).
+        #: Hosts not listed run at factor 1.0.
+        self.host_speed = dict(host_speed or {})
+        for h, factor in self.host_speed.items():
+            if factor <= 0:
+                raise ValueError(f"host_speed[{h!r}] must be positive, got {factor}")
+        #: Trace of the most recent run (None unless collect_trace).
+        self.last_trace: Optional[Trace] = None
+
+    def _make_pool(self, env: Environment) -> ChannelPool:
+        """Channel pool factory (hook for lossy/instrumented pools)."""
+        return ChannelPool(env, host_link_capacity=self.ni_ports)
+
+    def _install_extras(self, registry: NICRegistry, tree: MulticastTree, message: Message) -> None:
+        """Per-message NI setup beyond the forwarding table (hook)."""
+
+    def _params_for(self, host: Node) -> SystemParams:
+        factor = self.host_speed.get(host, 1.0)
+        if factor == 1.0:
+            return self.params
+        return self.params.with_(
+            t_ns=self.params.t_ns * factor, t_nr=self.params.t_nr * factor
+        )
+
+    def run(
+        self, tree: MulticastTree, num_packets: int, time_limit: Optional[float] = None
+    ) -> MulticastResult:
+        """Simulate one multicast of ``num_packets`` packets over ``tree``."""
+        return self.run_many([(tree, num_packets)], time_limit=time_limit)[0]
+
+    def run_many(self, multicasts, time_limit: Optional[float] = None) -> list:
+        """Simulate several multicasts *concurrently* on one network.
+
+        ``multicasts`` is a sequence of ``(tree, num_packets)`` pairs;
+        all sources inject at time zero and the messages share channels
+        and NI engines, so the results capture inter-multicast
+        contention (the "multiple multicast" problem of the group's
+        companion work).  Returns one :class:`MulticastResult` per input
+        in order.
+
+        ``time_limit`` (µs of simulated time) turns a hung protocol —
+        e.g. a recovery loop that never converges — into an immediate
+        :class:`RuntimeError` instead of an unbounded run.
+        """
+        if not multicasts:
+            raise ValueError("run_many needs at least one multicast")
+        hosts = set(self.topology.hosts)
+        for tree, num_packets in multicasts:
+            tree.validate()
+            for node in tree.nodes():
+                if node not in hosts:
+                    raise ValueError(f"tree node {node!r} is not a host of this topology")
+
+        env = Environment()
+        trace = Trace(env, enabled=self.collect_trace)
+        pool = self._make_pool(env)
+        registry = NICRegistry()
+        for h in self.topology.hosts:
+            self.ni_class(
+                env,
+                h,
+                self.router,
+                registry,
+                pool,
+                self._params_for(h),
+                trace,
+                send_queue_cls=self._send_queue_cls,
+                ports=self.ni_ports,
+                channel_model=self.channel_model,
+            )
+
+        messages = []
+        for tree, num_packets in multicasts:
+            message = Message(
+                source=tree.root,
+                destinations=tuple(tree.destinations()),
+                num_packets=num_packets,
+            )
+            messages.append(message)
+            for node in tree.nodes():
+                registry.lookup(node).forwarding[message.msg_id] = tree.children(node)
+            self._install_extras(registry, tree, message)
+            source_ni = registry.lookup(tree.root)
+            env.process(
+                source_ni.inject_multicast(tree, message),
+                name=f"inject-{message.msg_id}",
+            )
+        if time_limit is not None:
+            env.run(until=time_limit)
+            if len(env):
+                raise RuntimeError(
+                    f"simulation still active at time_limit={time_limit} µs "
+                    f"({len(env)} events pending) — protocol livelock or "
+                    "the limit is too tight"
+                )
+        else:
+            env.run()
+
+        self.last_trace = trace if self.collect_trace else None
+        return [self._collect(registry, pool, message, trace) for message in messages]
+
+    def _collect(
+        self, registry: NICRegistry, pool: ChannelPool, message: Message, trace: Trace
+    ) -> MulticastResult:
+        packet_completion = [0.0] * message.num_packets
+        destination_completion: Dict[Node, float] = {}
+        for dest in message.destinations:
+            ni = registry.lookup(dest)
+            dest_last = 0.0
+            for index in range(message.num_packets):
+                at = ni.received_at.get((message.msg_id, index))
+                if at is None:
+                    raise RuntimeError(
+                        f"simulation quiesced but {dest!r} never received packet "
+                        f"{index} of message {message.msg_id} — forwarding bug"
+                    )
+                packet_completion[index] = max(packet_completion[index], at)
+                dest_last = max(dest_last, at)
+            destination_completion[dest] = dest_last
+
+        completion = max(packet_completion)
+        peak_buffers = {ni.host: ni.forward_buffer.peak for ni in registry}
+        self.last_trace = trace if self.collect_trace else None
+        return MulticastResult(
+            latency=completion + self.params.t_r,
+            completion_time=completion,
+            packet_completion=tuple(packet_completion),
+            destination_completion=destination_completion,
+            peak_buffers=peak_buffers,
+            blocked_time=pool.total_blocked_time,
+            message=message,
+        )

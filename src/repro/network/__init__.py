@@ -1,0 +1,42 @@
+"""Network substrate: topologies, routing, and wormhole channels.
+
+* :func:`build_irregular_network` — the paper's 64-host, 16×8-port
+  random irregular testbed (seeded).
+* :class:`KAryNCube` — regular tori/meshes for §4.3.2's construction.
+* :class:`UpDownRouter` / :class:`EcubeRouter` — deadlock-free routing.
+* :class:`ChannelPool` + :func:`transmit` — wormhole channel model.
+"""
+
+from .ecube import EcubeRouter, VirtualChannel
+from .errors import NetworkError, RoutingError, TopologyError
+from .fattree import FatTree, FatTreeRouter
+from .irregular import build_irregular_network
+from .karyn import KAryNCube
+from .links import ChannelPool
+from .serialize import topology_from_dict, topology_to_dict
+from .topology import Channel, Node, Topology, host, switch
+from .updown import UpDownRouter
+from .wormhole import path_latency, transmit
+
+__all__ = [
+    "Channel",
+    "ChannelPool",
+    "EcubeRouter",
+    "FatTree",
+    "FatTreeRouter",
+    "KAryNCube",
+    "NetworkError",
+    "Node",
+    "RoutingError",
+    "Topology",
+    "TopologyError",
+    "UpDownRouter",
+    "VirtualChannel",
+    "build_irregular_network",
+    "host",
+    "path_latency",
+    "switch",
+    "topology_from_dict",
+    "topology_to_dict",
+    "transmit",
+]

@@ -1,0 +1,15 @@
+"""Exception types for the network substrate."""
+
+from __future__ import annotations
+
+
+class NetworkError(Exception):
+    """Base class for topology/routing errors."""
+
+
+class TopologyError(NetworkError):
+    """Malformed or unsatisfiable topology construction."""
+
+
+class RoutingError(NetworkError):
+    """No legal route exists between the requested endpoints."""

@@ -1,0 +1,106 @@
+"""Seeded random irregular switch-based networks (the paper's testbed).
+
+§5.2: "an irregular switch-based network with 64 processors connected by
+16 eight-port switches", averaged over "10 different random network
+switch interconnection topologies".  The exact wiring rule is not
+published; per DESIGN.md §5 we use the common convention from the
+group's related work: 4 host ports and 4 inter-switch ports per switch,
+a random degree-capped spanning tree for connectivity, and remaining
+switch ports wired by random matching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .errors import TopologyError
+from .topology import Topology
+
+__all__ = ["build_irregular_network"]
+
+
+def build_irregular_network(
+    n_switches: int = 16,
+    switch_ports: int = 8,
+    hosts_per_switch: int = 4,
+    seed: int = 0,
+    extra_link_attempts: Optional[int] = None,
+) -> Topology:
+    """Generate a connected random irregular network.
+
+    Parameters
+    ----------
+    n_switches, switch_ports, hosts_per_switch:
+        Defaults give the paper's 16×8-port, 64-host system.
+    seed:
+        RNG seed; the same seed always yields the same topology.
+    extra_link_attempts:
+        Random wiring attempts for the ports left after the spanning
+        tree (default ``8 * n_switches``, enough to nearly saturate).
+
+    Raises
+    ------
+    TopologyError
+        If the port budget cannot host the requested configuration.
+    """
+    if n_switches < 1:
+        raise TopologyError("need at least one switch")
+    if hosts_per_switch < 0:
+        raise TopologyError("hosts_per_switch must be >= 0")
+    inter_switch_ports = switch_ports - hosts_per_switch
+    if inter_switch_ports < 0:
+        raise TopologyError(
+            f"{hosts_per_switch} hosts per switch exceed {switch_ports} ports"
+        )
+    if n_switches > 1 and inter_switch_ports < 1:
+        raise TopologyError("no ports left for inter-switch links; network cannot connect")
+
+    rng = random.Random(seed)
+    topo = Topology(switch_ports=switch_ports)
+    for j in range(n_switches):
+        topo.add_switch(j)
+
+    switches = list(topo.switches)
+
+    # 1. Random degree-capped spanning tree: connect each switch (in a
+    #    random order) to a random already-connected switch with a free
+    #    inter-switch port.
+    order = switches[:]
+    rng.shuffle(order)
+    connected = [order[0]]
+    for sw in order[1:]:
+        candidates = [
+            c for c in connected if _inter_switch_degree(topo, c) < inter_switch_ports
+        ]
+        if not candidates:
+            raise TopologyError(
+                f"cannot build spanning tree: {inter_switch_ports} inter-switch "
+                f"ports per switch is too few for {n_switches} switches"
+            )
+        topo.add_link(sw, rng.choice(candidates))
+        connected.append(sw)
+
+    # 2. Randomly wire remaining inter-switch ports.
+    attempts = extra_link_attempts if extra_link_attempts is not None else 8 * n_switches
+    for _ in range(attempts):
+        open_switches = [
+            s for s in switches if _inter_switch_degree(topo, s) < inter_switch_ports
+        ]
+        if len(open_switches) < 2:
+            break
+        a, b = rng.sample(open_switches, 2)
+        if not topo.has_link(a, b):
+            topo.add_link(a, b)
+
+    # 3. Attach hosts, numbered so host i sits on switch i // hosts_per_switch.
+    for j, sw in enumerate(switches):
+        for slot in range(hosts_per_switch):
+            topo.add_host(j * hosts_per_switch + slot, sw)
+
+    assert topo.is_connected()
+    return topo
+
+
+def _inter_switch_degree(topo: Topology, sw) -> int:
+    return len(topo.switch_neighbors(sw))

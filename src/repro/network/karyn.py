@@ -1,0 +1,88 @@
+"""k-ary n-cube topologies (§4.3.2's regular-network setting).
+
+Each of the ``k**n`` processors owns one router (modelled as a switch)
+with one attached host; routers link to their ``2n`` torus neighbours
+(or fewer on a mesh edge when ``wrap=False``).
+
+Coordinate convention: processor ``p`` has coordinates ``coords(p)``
+with dimension 0 varying fastest, i.e. ``p = sum(c[d] * k**d)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .errors import TopologyError
+from .topology import Node, Topology, switch
+
+__all__ = ["KAryNCube"]
+
+
+class KAryNCube(Topology):
+    """A k-ary n-cube (torus) or mesh of single-host routers.
+
+    Parameters
+    ----------
+    k:
+        Radix per dimension (>= 2).
+    n:
+        Number of dimensions (>= 1).
+    wrap:
+        ``True`` (default) for a torus, ``False`` for a mesh.
+    """
+
+    def __init__(self, k: int, n: int, wrap: bool = True) -> None:
+        if k < 2:
+            raise TopologyError(f"radix k must be >= 2, got {k}")
+        if n < 1:
+            raise TopologyError(f"dimension count n must be >= 1, got {n}")
+        super().__init__(switch_ports=None)
+        self.k = k
+        self.n = n
+        self.wrap = wrap
+        self.size = k**n
+
+        for p in range(self.size):
+            self.add_switch(p)
+        for p in range(self.size):
+            coords = self.coords(p)
+            for d in range(n):
+                if coords[d] + 1 < k:
+                    self.add_link(switch(p), switch(self.neighbor(p, d, +1)))
+                elif wrap and k > 2:
+                    self.add_link(switch(p), switch(self.neighbor(p, d, +1)))
+        for p in range(self.size):
+            self.add_host(p, switch(p))
+
+    # -- coordinate arithmetic ------------------------------------------------
+    def coords(self, p: int) -> Tuple[int, ...]:
+        """Coordinates of processor ``p`` (dimension 0 fastest)."""
+        if not (0 <= p < self.size):
+            raise TopologyError(f"processor {p} outside [0, {self.size})")
+        out = []
+        for _ in range(self.n):
+            out.append(p % self.k)
+            p //= self.k
+        return tuple(out)
+
+    def processor(self, coords: Tuple[int, ...]) -> int:
+        """Inverse of :meth:`coords`."""
+        if len(coords) != self.n:
+            raise TopologyError(f"expected {self.n} coordinates, got {len(coords)}")
+        p = 0
+        for d in reversed(range(self.n)):
+            c = coords[d]
+            if not (0 <= c < self.k):
+                raise TopologyError(f"coordinate {c} outside [0, {self.k})")
+            p = p * self.k + c
+        return p
+
+    def neighbor(self, p: int, dim: int, direction: int) -> int:
+        """Processor one hop from ``p`` along ``dim`` (+1/-1, wrapping)."""
+        coords = list(self.coords(p))
+        coords[dim] = (coords[dim] + direction) % self.k
+        return self.processor(tuple(coords))
+
+    def router_of(self, p: int) -> Node:
+        """The switch node owning processor ``p``."""
+        return switch(p)

@@ -1,0 +1,73 @@
+"""Channel resources: the contention units of the wormhole model.
+
+A :class:`ChannelPool` lazily maps channel keys — ``(u, v)`` pairs from
+:class:`~repro.network.updown.UpDownRouter` or ``(u, v, vc)`` triples
+from :class:`~repro.network.ecube.EcubeRouter` — to capacity-1
+:class:`~repro.sim.resources.Resource` instances, and keeps per-channel
+utilisation counters for contention analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ..sim import Environment, Resource
+
+__all__ = ["ChannelPool"]
+
+
+class ChannelPool:
+    """Lazy registry of per-channel resources.
+
+    Switch-to-switch channels always have capacity 1 (one wormhole at a
+    time).  Host-adjacent channels get ``host_link_capacity`` — the
+    multi-port NI model provides that many parallel links between a
+    host and its switch (1 = the paper's one-port NIs).
+    """
+
+    def __init__(self, env: Environment, host_link_capacity: int = 1) -> None:
+        if host_link_capacity < 1:
+            raise ValueError(f"host_link_capacity must be >= 1, got {host_link_capacity}")
+        self.env = env
+        self.host_link_capacity = host_link_capacity
+        self._channels: Dict[Hashable, Resource] = {}
+        #: Total acquisitions per channel (contention/eval statistics).
+        self.acquisitions: Dict[Hashable, int] = {}
+        #: Total time blocked waiting on each channel.
+        self.blocked_time: Dict[Hashable, float] = {}
+
+    def capacity_for(self, key: Hashable) -> int:
+        """Capacity of channel ``key`` (host links scale with ports)."""
+        if isinstance(key, tuple):
+            for end in key[:2]:
+                if isinstance(end, tuple) and len(end) == 2 and end[0] == "host":
+                    return self.host_link_capacity
+        return 1
+
+    def channel(self, key: Hashable) -> Resource:
+        """The resource for ``key``, created on first use."""
+        res = self._channels.get(key)
+        if res is None:
+            res = Resource(self.env, capacity=self.capacity_for(key))
+            self._channels[key] = res
+            self.acquisitions[key] = 0
+            self.blocked_time[key] = 0.0
+        return res
+
+    def record_acquisition(self, key: Hashable, waited: float) -> None:
+        """Bookkeeping called by the wormhole transmitter."""
+        self.acquisitions[key] += 1
+        self.blocked_time[key] += waited
+
+    @property
+    def total_blocked_time(self) -> float:
+        """Aggregate time packets spent blocked on busy channels."""
+        return sum(self.blocked_time.values())
+
+    @property
+    def busiest_channel(self):
+        """(key, acquisitions) of the most-acquired channel, or None."""
+        if not self.acquisitions:
+            return None
+        key = max(self.acquisitions, key=lambda k: self.acquisitions[k])
+        return key, self.acquisitions[key]

@@ -1,0 +1,64 @@
+"""Topology serialization: save and reload fabrics as plain dicts/JSON.
+
+Reproducibility plumbing for a released library: an experiment's exact
+random topology can be stored alongside its results and reloaded later
+(or shared) without depending on generator code staying bit-identical
+across versions.
+
+    data = topology_to_dict(topo)
+    json.dump(data, open("fabric.json", "w"))
+    same = topology_from_dict(json.load(open("fabric.json")))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .errors import TopologyError
+from .topology import Topology, host, switch
+
+__all__ = ["topology_to_dict", "topology_from_dict"]
+
+_FORMAT = "repro-topology-v1"
+
+
+def topology_to_dict(topology: Topology) -> Dict:
+    """A JSON-serializable description of ``topology``.
+
+    Hosts record their attachment switch; switch-to-switch links are
+    listed once each.  The round trip preserves the link/host *sets*
+    exactly (adjacency-list order may differ, which no consumer — the
+    routers sort neighbours, CCO keeps host attachment order — depends
+    on across a reload).
+    """
+    links: List[List[int]] = []
+    seen = set()
+    for sw in topology.switches:
+        for nbr in topology.switch_neighbors(sw):
+            key = tuple(sorted((sw[1], nbr[1])))
+            if key not in seen:
+                seen.add(key)
+                links.append([sw[1], nbr[1]])
+    return {
+        "format": _FORMAT,
+        "switch_ports": topology.switch_ports,
+        "switches": [sw[1] for sw in topology.switches],
+        "links": links,
+        "hosts": [
+            {"id": h[1], "switch": topology.host_switch(h)[1]} for h in topology.hosts
+        ],
+    }
+
+
+def topology_from_dict(data: Dict) -> Topology:
+    """Rebuild a :class:`Topology` from :func:`topology_to_dict` output."""
+    if data.get("format") != _FORMAT:
+        raise TopologyError(f"unrecognized topology format {data.get('format')!r}")
+    topology = Topology(switch_ports=data.get("switch_ports"))
+    for j in data["switches"]:
+        topology.add_switch(j)
+    for a, b in data["links"]:
+        topology.add_link(switch(a), switch(b))
+    for entry in data["hosts"]:
+        topology.add_host(entry["id"], switch(entry["switch"]))
+    return topology

@@ -1,0 +1,153 @@
+"""Topology model: hosts, switches, and bidirectional links.
+
+Node ids are tagged tuples — ``("host", i)`` or ``("switch", j)`` — so a
+node's kind is self-evident in traces and test failures.  A *link* is an
+unordered pair of nodes; each link carries two directed *channels*
+(``(u, v)`` and ``(v, u)``), which are the contention units of the
+wormhole model (§S4 of DESIGN.md).
+
+Hosts attach to exactly one switch (their NI's port); switches link to
+hosts and to other switches, limited by their port count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .errors import TopologyError
+
+Node = Tuple[str, int]
+Channel = Tuple[Node, Node]
+
+__all__ = ["Node", "Channel", "Topology", "host", "switch"]
+
+
+def host(i: int) -> Node:
+    """The node id of host ``i``."""
+    return ("host", i)
+
+
+def switch(j: int) -> Node:
+    """The node id of switch ``j``."""
+    return ("switch", j)
+
+
+class Topology:
+    """A switch-based interconnect with attached hosts.
+
+    Parameters
+    ----------
+    switch_ports:
+        Maximum links per switch (``None`` = unlimited).
+    """
+
+    def __init__(self, switch_ports: Optional[int] = None) -> None:
+        self.switch_ports = switch_ports
+        self._adjacency: dict[Node, list[Node]] = {}
+        self._hosts: list[Node] = []
+        self._switches: list[Node] = []
+
+    # -- construction ------------------------------------------------------
+    def add_switch(self, j: int) -> Node:
+        node = switch(j)
+        if node in self._adjacency:
+            raise TopologyError(f"switch {j} already exists")
+        self._adjacency[node] = []
+        self._switches.append(node)
+        return node
+
+    def add_host(self, i: int, attach_to: Node) -> Node:
+        """Create host ``i`` and link it to switch ``attach_to``."""
+        node = host(i)
+        if node in self._adjacency:
+            raise TopologyError(f"host {i} already exists")
+        if attach_to not in self._adjacency or attach_to[0] != "switch":
+            raise TopologyError(f"{attach_to!r} is not an existing switch")
+        self._check_port_free(attach_to)
+        self._adjacency[node] = [attach_to]
+        self._adjacency[attach_to].append(node)
+        self._hosts.append(node)
+        return node
+
+    def add_link(self, a: Node, b: Node) -> None:
+        """Create a bidirectional switch-to-switch link."""
+        for end in (a, b):
+            if end not in self._adjacency:
+                raise TopologyError(f"{end!r} is not in the topology")
+            if end[0] != "switch":
+                raise TopologyError(f"{end!r} is a host; hosts attach via add_host")
+        if a == b:
+            raise TopologyError("self-links are not allowed")
+        if b in self._adjacency[a]:
+            raise TopologyError(f"link {a!r}-{b!r} already exists")
+        self._check_port_free(a)
+        self._check_port_free(b)
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+
+    def _check_port_free(self, sw: Node) -> None:
+        if self.switch_ports is not None and len(self._adjacency[sw]) >= self.switch_ports:
+            raise TopologyError(f"{sw!r} has no free port (limit {self.switch_ports})")
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def hosts(self) -> tuple:
+        return tuple(self._hosts)
+
+    @property
+    def switches(self) -> tuple:
+        return tuple(self._switches)
+
+    def neighbors(self, node: Node) -> tuple:
+        return tuple(self._adjacency[node])
+
+    def switch_neighbors(self, sw: Node) -> tuple:
+        """Adjacent switches of ``sw`` (excludes attached hosts)."""
+        return tuple(n for n in self._adjacency[sw] if n[0] == "switch")
+
+    def attached_hosts(self, sw: Node) -> tuple:
+        """Hosts attached to ``sw``, in attachment order."""
+        return tuple(n for n in self._adjacency[sw] if n[0] == "host")
+
+    def host_switch(self, h: Node) -> Node:
+        """The switch host ``h`` attaches to."""
+        if h[0] != "host":
+            raise TopologyError(f"{h!r} is not a host")
+        return self._adjacency[h][0]
+
+    def degree(self, node: Node) -> int:
+        return len(self._adjacency[node])
+
+    def free_ports(self, sw: Node) -> int:
+        if self.switch_ports is None:
+            return 1 << 30
+        return self.switch_ports - len(self._adjacency[sw])
+
+    def channels(self) -> Iterator[Channel]:
+        """All directed channels (two per link)."""
+        for node, nbrs in self._adjacency.items():
+            for nbr in nbrs:
+                yield (node, nbr)
+
+    def has_link(self, a: Node, b: Node) -> bool:
+        return a in self._adjacency and b in self._adjacency[a]
+
+    def is_connected(self) -> bool:
+        """Whole topology (hosts + switches) reachable from any node."""
+        if not self._adjacency:
+            return True
+        start = next(iter(self._adjacency))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nbr in self._adjacency[stack.pop()]:
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return len(seen) == len(self._adjacency)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} hosts={len(self._hosts)} "
+            f"switches={len(self._switches)}>"
+        )

@@ -1,0 +1,119 @@
+"""Wormhole packet transmission over a channel pool.
+
+The transmitter models wormhole switching at packet granularity:
+
+1. the header flit acquires the route's channels *in order*, paying the
+   per-switch routing delay ``t_switch`` for each hop; a busy channel
+   blocks the header **while earlier channels stay held** (wormhole
+   back-pressure — this is what makes depth-contention expensive and
+   why contention-free tree construction matters);
+2. once the full path is reserved, the body streams across in
+   ``wire_time`` (= packet_bytes / link_bandwidth);
+3. all channels release together when the tail drains.
+
+Acquiring channels in route order is deadlock-free under both routing
+substrates: up*/down* orders channels up-then-down, and e-cube with
+dateline VCs gives an acyclic channel dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..params import SystemParams
+from ..sim import Environment
+from .links import ChannelPool
+
+__all__ = ["transmit", "transmit_windowed", "path_latency"]
+
+
+def transmit(
+    env: Environment,
+    pool: ChannelPool,
+    route: Sequence[Hashable],
+    params: SystemParams,
+):
+    """Process generator: move one packet along ``route``.
+
+    Yields until the tail flit has drained at the destination.  The
+    caller (an NI send engine) decides what sender-side overlap to
+    allow; this generator only models the network part.
+    """
+    if not route:
+        raise ValueError("route must contain at least one channel")
+    held = []
+    try:
+        for key in route:
+            resource = pool.channel(key)
+            asked_at = env.now
+            request = resource.request()
+            yield request
+            pool.record_acquisition(key, env.now - asked_at)
+            held.append((resource, request))
+            yield env.timeout(params.t_switch)
+        yield env.timeout(params.wire_time)
+    finally:
+        for resource, request in held:
+            resource.release(request)
+
+
+def transmit_windowed(
+    env: Environment,
+    pool: ChannelPool,
+    route: Sequence[Hashable],
+    params: SystemParams,
+):
+    """Process generator: finite-worm wormhole transmission.
+
+    A refinement of :func:`transmit`: instead of holding the entire
+    path until the tail drains (conservative), the packet holds a
+    *sliding window* of at most ``worm_flits`` channels — a worm of F
+    flits with one-flit channel buffers spans at most F channels, so
+    channels the tail has passed release early.  The header advances
+    one channel per ``t_switch + flit_cycle`` and the tail drains at
+    the flit rate once the header lands.
+
+    Slightly slower end-to-end than :func:`transmit` on an idle path
+    (the header streams at flit pace), and strictly kinder to other
+    traffic under contention; the `bench_ablation_channel_model`
+    experiment quantifies both effects and validates the paper-level
+    abstraction.
+    """
+    if not route:
+        raise ValueError("route must contain at least one channel")
+    window = max(1, params.worm_flits)
+    held: list = []
+    try:
+        for key in route:
+            resource = pool.channel(key)
+            asked_at = env.now
+            request = resource.request()
+            yield request
+            pool.record_acquisition(key, env.now - asked_at)
+            held.append((resource, request))
+            yield env.timeout(params.t_switch + params.flit_cycle)
+            if len(held) > window:
+                resource_old, request_old = held.pop(0)
+                resource_old.release(request_old)
+        # Tail drain: the worm's flits stream into the destination at
+        # the flit rate; each cycle frees the oldest held channel, and
+        # any flits beyond the held span still take their cycles to
+        # arrive (routes shorter than the worm).
+        drain_cycles = window
+        while held:
+            yield env.timeout(params.flit_cycle)
+            resource_old, request_old = held.pop(0)
+            resource_old.release(request_old)
+            drain_cycles -= 1
+        if drain_cycles > 0:
+            yield env.timeout(drain_cycles * params.flit_cycle)
+    finally:
+        for resource_old, request_old in held:
+            resource_old.release(request_old)
+
+
+def path_latency(route_length: int, params: SystemParams) -> float:
+    """Uncontended network time of a packet over ``route_length`` hops."""
+    if route_length < 1:
+        raise ValueError("route_length must be >= 1")
+    return route_length * params.t_switch + params.wire_time

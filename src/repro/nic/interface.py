@@ -1,0 +1,210 @@
+"""The network interface model (Fig. 1): queues, coprocessor, DMA.
+
+Every host owns one :class:`NetworkInterface`.  Two always-on coprocessor
+loops model its behaviour:
+
+* the **send engine** drains the send queue one :class:`SendJob` at a
+  time: ``t_ns`` of coprocessor overhead, then a wormhole transmission
+  (path acquisition + wire time) to the destination NI's receive queue.
+  Back-to-back sends therefore serialize on the NI, which is what makes
+  a node's fan-out the pipeline bottleneck in §4.1's model;
+* the **receive engine** drains the receive queue: ``t_nr`` of
+  coprocessor overhead per packet, then hands the packet to the
+  forwarding discipline hook :meth:`on_packet` (conventional / FCFS /
+  FPFS subclasses) and records delivery.
+
+Forwarding buffer occupancy (packets the coprocessor must hold for
+replication, §2.5) is tracked in a :class:`~repro.sim.monitor.LevelMonitor`
+so the FCFS-vs-FPFS buffer claim can be *measured*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from ..network.links import ChannelPool
+from ..network.topology import Node
+from ..network.wormhole import transmit
+from ..params import SystemParams
+from ..sim import Environment, LevelMonitor, Store, Trace
+from .packets import Packet
+
+#: Available channel-occupancy models for the send engine.
+TRANSMITTERS = {"path": transmit}
+
+
+def _windowed(env, pool, route, params):  # lazy import avoids cycle churn
+    from ..network.wormhole import transmit_windowed
+
+    return transmit_windowed(env, pool, route, params)
+
+
+TRANSMITTERS["worm"] = _windowed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.trees import MulticastTree
+
+__all__ = ["SendJob", "NetworkInterface", "NICRegistry"]
+
+
+@dataclass(frozen=True)
+class SendJob:
+    """One packet transmission queued at an NI.
+
+    ``on_sent`` (if set) runs when the packet's tail has left — the
+    moment the NI may drop its buffered copy for this child.
+    """
+
+    packet: Packet
+    destination: Node
+    on_sent: Optional[Callable[[], None]] = None
+
+
+class NICRegistry:
+    """host → NI lookup shared by all interfaces of one simulation."""
+
+    def __init__(self) -> None:
+        self._by_host: Dict[Node, "NetworkInterface"] = {}
+
+    def register(self, ni: "NetworkInterface") -> None:
+        if ni.host in self._by_host:
+            raise ValueError(f"host {ni.host!r} already has an NI")
+        self._by_host[ni.host] = ni
+
+    def lookup(self, host: Node) -> "NetworkInterface":
+        return self._by_host[host]
+
+    def __iter__(self):
+        return iter(self._by_host.values())
+
+
+class NetworkInterface:
+    """Base NI: send/receive engines without forwarding logic.
+
+    Subclasses implement :meth:`on_packet` (what the coprocessor does
+    with a received packet) and :meth:`inject_multicast` (how the source
+    NI schedules the packets of a locally originated multicast).
+
+    Parameters
+    ----------
+    env, registry, pool, params, trace:
+        Shared simulation state.
+    host:
+        The host node this NI serves.
+    router:
+        Object with ``route(src_host, dst_host) -> [channel keys]``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        host: Node,
+        router,
+        registry: NICRegistry,
+        pool: ChannelPool,
+        params: SystemParams,
+        trace: Optional[Trace] = None,
+        send_queue_cls: type = Store,
+        ports: int = 1,
+        channel_model: str = "path",
+    ) -> None:
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        if channel_model not in TRANSMITTERS:
+            raise ValueError(
+                f"unknown channel_model {channel_model!r}; choose from {sorted(TRANSMITTERS)}"
+            )
+        self._transmit = TRANSMITTERS[channel_model]
+        self.env = env
+        self.host = host
+        self.router = router
+        self.registry = registry
+        self.pool = pool
+        self.params = params
+        self.ports = ports
+        self.trace = trace if trace is not None else Trace(env, enabled=False)
+        self.send_queue = send_queue_cls(env)
+        self.recv_queue: Store = Store(env)
+        #: Packets held for forwarding/replication at this NI.
+        self.forward_buffer = LevelMonitor(env)
+        #: (msg_id, packet_index) -> NI receive completion time.
+        self.received_at: Dict[Tuple[int, int], float] = {}
+        #: Children this NI forwards to, per message id (set by the
+        #: multicast setup; empty tuple = pure leaf).
+        self.forwarding: Dict[int, tuple] = {}
+        registry.register(self)
+        # One send engine per NI port; all drain the shared send queue
+        # (the paper's model is one-port, ports > 1 is the multi-port
+        # extension studied by the A10 bench).
+        for port in range(ports):
+            env.process(self._send_engine(), name=f"send{port}@{host}")
+        env.process(self._recv_engine(), name=f"recv@{host}")
+
+    # -- engines ------------------------------------------------------------
+    def _send_engine(self):
+        while True:
+            job: SendJob = yield self.send_queue.get()
+            yield self.env.timeout(self.params.t_ns)
+            route = self.router.route(self.host, job.destination)
+            yield from self._transmit(self.env, self.pool, route, self.params)
+            self.trace.log(
+                "ni_send",
+                src=self.host,
+                dst=job.destination,
+                msg=job.packet.message.msg_id,
+                pkt=job.packet.index,
+            )
+            if job.on_sent is not None:
+                job.on_sent()
+            self.registry.lookup(job.destination).recv_queue.put(job.packet)
+
+    def _recv_engine(self):
+        while True:
+            packet: Packet = yield self.recv_queue.get()
+            yield self.env.timeout(self.params.t_nr)
+            key = (packet.message.msg_id, packet.index)
+            if key in self.received_at:
+                raise RuntimeError(f"duplicate delivery of {packet!r} at {self.host!r}")
+            self.received_at[key] = self.env.now
+            self.trace.log(
+                "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index
+            )
+            self.on_packet(packet)
+
+    # -- discipline hooks -----------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        """Forwarding behaviour on packet reception (subclass hook)."""
+        raise NotImplementedError
+
+    def inject_multicast(self, tree: "MulticastTree", message):
+        """Process generator: source-side injection of ``message``.
+
+        Must be started at the *source* host's NI.  The caller (the
+        multicast simulator) creates the message up front so forwarding
+        tables can be installed at every NI before any packet moves.
+        """
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------------
+    def _enqueue_copies(self, packet: Packet, children: tuple) -> None:
+        """Queue one send per child, holding the buffer until the last copy."""
+        if not children:
+            return
+        self.forward_buffer.change(+1)
+        remaining = len(children)
+
+        def one_sent() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                self.forward_buffer.change(-1)
+
+        for child in children:
+            self.send_queue.put(SendJob(packet, child, on_sent=one_sent))
+
+    def message_complete(self, message) -> bool:
+        """Has this NI received every packet of ``message``?"""
+        return all(
+            (message.msg_id, i) in self.received_at for i in range(message.num_packets)
+        )

@@ -1,0 +1,107 @@
+"""System and technology parameters.
+
+Defaults reproduce the paper's §5.2 settings: ``t_s`` (software start-up
+overhead at the sending host) = 12.5 µs, ``t_r`` (software overhead at
+the receiving host) = 12.5 µs, 64-byte packets, ``t_ns`` (network
+interface send overhead per packet) = 3.0 µs and ``t_nr`` (network
+interface receive overhead per packet) = 2.0 µs.
+
+The paper does not publish its sub-NI technology constants (per-switch
+routing delay, link bandwidth); DESIGN.md §5 records the values chosen
+here and why.  All times are microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SystemParams:
+    """Timing/technology parameters of the simulated system.
+
+    Attributes
+    ----------
+    t_s:
+        Software start-up overhead at the source host processor (paid
+        once per multicast with smart NI support; once per *hop* with
+        conventional support).
+    t_r:
+        Software receive overhead at a destination host processor.
+    t_ns:
+        NI coprocessor overhead to inject one packet into the network.
+    t_nr:
+        NI coprocessor overhead to accept one packet from the network.
+    packet_bytes:
+        Fixed network packet size.
+    t_switch:
+        Per-hop header routing delay inside a switch (wormhole header
+        progression).
+    link_bandwidth:
+        Link bandwidth in bytes/µs; a packet occupies the acquired path
+        for ``packet_bytes / link_bandwidth`` µs.
+    t_dma:
+        NI↔host DMA transfer time per packet (conventional forwarding
+        pays this on both sides of every hop).
+    """
+
+    t_s: float = 12.5
+    t_r: float = 12.5
+    t_ns: float = 3.0
+    t_nr: float = 2.0
+    packet_bytes: int = 64
+    t_switch: float = 0.2
+    link_bandwidth: float = 160.0
+    t_dma: float = 0.5
+    flit_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("t_s", "t_r", "t_ns", "t_nr", "t_switch", "t_dma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        if self.flit_bytes <= 0:
+            raise ValueError("flit_bytes must be positive")
+
+    @property
+    def wire_time(self) -> float:
+        """Time for a packet's flits to cross an acquired path (µs)."""
+        return self.packet_bytes / self.link_bandwidth
+
+    @property
+    def t_step(self) -> float:
+        """Abstract per-step cost of the paper's analytic model (µs).
+
+        §2.5: a *step* is the transmission of one packet NI-to-NI and
+        costs send overhead + propagation + receive overhead.  The
+        propagation component uses one switch hop plus wire time as a
+        representative value.
+        """
+        return self.t_ns + self.t_switch + self.wire_time + self.t_nr
+
+    @property
+    def worm_flits(self) -> int:
+        """Flits per packet — the worm's length in channel slots."""
+        return -(-self.packet_bytes // self.flit_bytes)
+
+    @property
+    def flit_cycle(self) -> float:
+        """Time for one flit to cross a channel (µs)."""
+        return self.flit_bytes / self.link_bandwidth
+
+    def packets_for(self, message_bytes: int) -> int:
+        """Number of fixed-size packets for a message of ``message_bytes``."""
+        if message_bytes <= 0:
+            raise ValueError("message_bytes must be positive")
+        return -(-message_bytes // self.packet_bytes)
+
+    def with_(self, **overrides) -> "SystemParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+#: The paper's default parameter set.
+PAPER_PARAMS = SystemParams()

@@ -1,0 +1,54 @@
+"""A from-scratch discrete-event simulation kernel (simpy-flavoured).
+
+Public surface::
+
+    env = Environment()
+    env.process(gen)           # start a generator process
+    env.timeout(d)             # delay event
+    env.event()                # manual event
+    env.all_of / env.any_of    # condition events
+    Resource / PriorityResource
+    Store / FilterStore
+    Trace / LevelMonitor
+
+The kernel is deterministic: same inputs, same event ordering, always.
+"""
+
+from .engine import Environment
+from .errors import (
+    EmptySchedule,
+    Interrupt,
+    InvalidEventUsage,
+    SimulationError,
+    StopSimulation,
+)
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .monitor import LevelMonitor, Trace, TraceRecord
+from .process import Process
+from .resources import PriorityResource, Request, Resource
+from .store import FilterStore, Store, StoreGet, StorePut
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "InvalidEventUsage",
+    "LevelMonitor",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "StoreGet",
+    "StorePut",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+]

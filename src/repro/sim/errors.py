@@ -1,0 +1,53 @@
+"""Exception types used by the discrete-event simulation kernel.
+
+The kernel (:mod:`repro.sim`) is a from-scratch, simpy-flavoured
+discrete-event simulator.  It deliberately keeps a very small exception
+surface so that user processes can distinguish the three things that can
+go wrong: the simulation ran out of events, a process was interrupted,
+or an event was misused.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain.
+
+    :meth:`Environment.run` catches this internally; it only escapes to
+    user code when ``step`` is driven by hand.
+    """
+
+
+class StopSimulation(SimulationError):
+    """Raised internally to terminate :meth:`Environment.run`.
+
+    Carries the value of the event that ``run(until=...)`` waited for.
+    """
+
+    def __init__(self, value: object) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, which the interrupted
+    process can inspect to decide how to proceed.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+
+class InvalidEventUsage(SimulationError):
+    """Raised when an event is triggered twice, yielded twice, etc."""

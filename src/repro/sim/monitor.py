@@ -1,0 +1,108 @@
+"""Lightweight tracing and time-series statistics for simulations.
+
+Two tools:
+
+* :class:`Trace` — an append-only log of ``(time, category, **fields)``
+  records.  The multicast simulator emits packet send/receive/forward
+  records through a Trace so tests and benchmarks can reconstruct full
+  packet timelines.
+* :class:`LevelMonitor` — tracks a piecewise-constant integer level over
+  time (e.g. NI buffer occupancy) and reports its maximum and
+  time-weighted average.  This is how the FCFS-vs-FPFS buffer claim
+  (paper §3.3.2) is measured rather than merely asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    category: str
+    fields: dict
+
+    def __getitem__(self, key: str) -> object:
+        return self.fields[key]
+
+
+class Trace:
+    """Append-only event log keyed by category."""
+
+    def __init__(self, env: "Environment", enabled: bool = True) -> None:
+        self.env = env
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def log(self, category: str, **fields: object) -> None:
+        """Record ``fields`` under ``category`` at the current time."""
+        if self.enabled:
+            self.records.append(TraceRecord(self.env.now, category, fields))
+
+    def select(self, category: str, **match: object) -> Iterator[TraceRecord]:
+        """Iterate records of ``category`` whose fields equal ``match``."""
+        for record in self.records:
+            if record.category != category:
+                continue
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                yield record
+
+    def count(self, category: str, **match: object) -> int:
+        return sum(1 for _ in self.select(category, **match))
+
+    def last_time(self, category: str, **match: object) -> Optional[float]:
+        """Time of the latest matching record, or None."""
+        times = [r.time for r in self.select(category, **match)]
+        return max(times) if times else None
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+@dataclass
+class LevelMonitor:
+    """Tracks an integer level over simulated time.
+
+    Call :meth:`change` whenever the level moves; the monitor integrates
+    level × time between changes.  ``finalize`` closes the last interval.
+    """
+
+    env: "Environment"
+    level: int = 0
+    peak: int = 0
+    _area: float = 0.0
+    _last_change: float = field(default=0.0)
+    _finalized_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self._last_change = self.env.now
+
+    def change(self, delta: int) -> None:
+        """Adjust the level by ``delta`` at the current time."""
+        now = self.env.now
+        self._area += self.level * (now - self._last_change)
+        self._last_change = now
+        self.level += delta
+        if self.level < 0:
+            raise ValueError(f"level went negative ({self.level}) at t={now}")
+        self.peak = max(self.peak, self.level)
+
+    def finalize(self) -> None:
+        """Close the integration window at the current time."""
+        now = self.env.now
+        self._area += self.level * (now - self._last_change)
+        self._last_change = now
+        self._finalized_at = now
+
+    @property
+    def time_average(self) -> float:
+        """Time-weighted mean level from t=0 to the last change/finalize."""
+        end = self._finalized_at if self._finalized_at is not None else self._last_change
+        return self._area / end if end > 0 else 0.0

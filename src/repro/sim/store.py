@@ -1,0 +1,131 @@
+"""FIFO item stores for producer/consumer pipelines.
+
+:class:`Store` is an unbounded (or capacity-limited) queue of arbitrary
+items with blocking ``get`` and (when bounded) blocking ``put``.  The
+network-interface send queues in :mod:`repro.nic` are Stores.
+
+:class:`FilterStore` extends ``get`` with a predicate so a consumer can
+wait for a *specific* item (e.g. "the next packet of message 7").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Environment
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: object) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiting.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a store."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[object], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_waiting.append(self)
+        store._dispatch()
+
+
+class Store:
+    """FIFO item queue with optional capacity bound.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum items held; ``inf`` (default) for unbounded.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque = deque()
+        self._put_waiting: deque[StorePut] = deque()
+        self._get_waiting: list[StoreGet] = []
+
+    def put(self, item: object) -> StorePut:
+        """Insert ``item``; the returned event fires once it is stored."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the oldest item; the event's value is the item."""
+        return StoreGet(self)
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+    # -- internals ---------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Move items from waiting puts into the queue and satisfy gets."""
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending puts while there is room.
+            while self._put_waiting and len(self.items) < self.capacity:
+                put = self._put_waiting.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve pending gets with available items.
+            if self._serve_gets():
+                progress = True
+
+    def _serve_gets(self) -> bool:
+        served = False
+        while self._get_waiting and self.items:
+            get = self._get_waiting.pop(0)
+            get.succeed(self.items.popleft())
+            served = True
+        return served
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} size={len(self.items)} capacity={self.capacity}>"
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose ``get`` can select items by predicate.
+
+    ``get(filter)`` returns the *oldest* item satisfying ``filter``.
+    Gets are served in request order, but a get whose predicate matches
+    nothing does not block later gets with satisfiable predicates.
+    """
+
+    def get(self, filter: Optional[Callable[[object], bool]] = None) -> StoreGet:  # type: ignore[override]
+        return StoreGet(self, filter)
+
+    def _serve_gets(self) -> bool:
+        served = False
+        remaining: list[StoreGet] = []
+        for get in self._get_waiting:
+            matched = None
+            for item in self.items:
+                if get.filter is None or get.filter(item):
+                    matched = item
+                    break
+            if matched is not None:
+                self.items.remove(matched)
+                get.succeed(matched)
+                served = True
+            else:
+                remaining.append(get)
+        self._get_waiting = remaining
+        return served

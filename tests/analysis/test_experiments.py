@@ -1,0 +1,149 @@
+"""Experiment drivers: protocol, determinism, and series shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ExperimentConfig,
+    fig12a_optimal_k,
+    fig12b_optimal_k,
+    sweep_latency,
+)
+from repro.analysis.experiments import (
+    _destination_sets,
+    binomial,
+    kbinomial_optimal,
+    linear,
+)
+from repro.core import min_k_binomial
+from repro.network import host
+
+TINY = ExperimentConfig(n_topologies=1, n_dest_sets=2, seed=5)
+
+
+class TestConfig:
+    def test_paper_protocol(self):
+        cfg = ExperimentConfig.paper()
+        assert cfg.n_topologies == 10 and cfg.n_dest_sets == 30
+
+    def test_from_env_respects_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert ExperimentConfig.from_env().n_dest_sets == 30
+        monkeypatch.delenv("REPRO_FULL")
+        assert ExperimentConfig.from_env().n_dest_sets == 6
+
+
+class TestDestinationSets:
+    def test_draw_shape(self):
+        import random
+
+        hosts = [host(i) for i in range(20)]
+        draws = _destination_sets(hosts, 5, 3, random.Random(0))
+        assert len(draws) == 3
+        for src, dests in draws:
+            assert len(dests) == 5
+            assert src not in dests
+            assert len(set(dests)) == 5
+
+    def test_too_many_destinations_rejected(self):
+        import random
+
+        with pytest.raises(ValueError):
+            _destination_sets([host(0), host(1)], 2, 1, random.Random(0))
+
+
+class TestFig12Drivers:
+    def test_fig12a_shapes(self):
+        data = fig12a_optimal_k(dest_counts=(15, 63), m_values=range(1, 11))
+        assert set(data) == {15, 63}
+        assert len(data[15]) == 10
+        assert data[63][0] == 6  # m=1: ceil(log2 64)
+
+    def test_fig12b_shapes(self):
+        data = fig12b_optimal_k(m_values=(1, 8), n_values=range(2, 65))
+        assert data[1][-1] == 6
+        assert data[8][-1] == 2
+
+    def test_fig12b_m1_equals_ceil_log2(self):
+        data = fig12b_optimal_k(m_values=(1,), n_values=range(2, 65))
+        assert data[1] == [min_k_binomial(n) for n in range(2, 65)]
+
+
+class TestSweep:
+    def test_deterministic(self):
+        a = sweep_latency(7, 2, kbinomial_optimal, TINY)
+        b = sweep_latency(7, 2, kbinomial_optimal, TINY)
+        assert a == b
+
+    def test_seed_changes_results(self):
+        a = sweep_latency(7, 2, kbinomial_optimal, TINY)
+        b = sweep_latency(7, 2, kbinomial_optimal, ExperimentConfig(1, 2, seed=6))
+        assert a != b
+
+    def test_latency_grows_with_m(self):
+        lat = [sweep_latency(15, m, kbinomial_optimal, TINY) for m in (1, 4, 8)]
+        assert lat == sorted(lat)
+
+    def test_latency_grows_with_n(self):
+        lat = [sweep_latency(d, 4, kbinomial_optimal, TINY) for d in (7, 31, 63)]
+        assert lat == sorted(lat)
+
+    def test_kbinomial_not_worse_than_baselines_multipacket(self):
+        m = 8
+        kbin = sweep_latency(31, m, kbinomial_optimal, TINY)
+        bino = sweep_latency(31, m, binomial, TINY)
+        line = sweep_latency(31, m, linear, TINY)
+        assert kbin <= bino
+        assert kbin <= line
+
+
+class TestSweepStatistics:
+    def test_latencies_count_matches_protocol(self):
+        lats = __import__("repro.analysis", fromlist=["sweep_latencies"]).sweep_latencies(
+            7, 2, kbinomial_optimal, TINY
+        )
+        assert len(lats) == TINY.n_topologies * TINY.n_dest_sets
+
+    def test_summary_consistent_with_mean(self):
+        from repro.analysis import sweep_latency, sweep_latency_summary
+
+        summary = sweep_latency_summary(7, 2, kbinomial_optimal, TINY)
+        mean = sweep_latency(7, 2, kbinomial_optimal, TINY)
+        assert summary.mean == pytest.approx(mean)
+        assert summary.count == TINY.n_topologies * TINY.n_dest_sets
+        assert summary.ci95_halfwidth >= 0
+
+
+class TestFigureDrivers:
+    """Shape checks for the simulation figure drivers at tiny scale."""
+
+    def test_fig13a_driver(self):
+        from repro.analysis import fig13a_latency_vs_m
+
+        data = fig13a_latency_vs_m(TINY, dest_counts=(15, 7), m_values=(1, 4))
+        assert set(data) == {15, 7}
+        assert all(len(v) == 2 for v in data.values())
+        assert data[15][1] > data[15][0]  # grows with m
+
+    def test_fig13b_driver(self):
+        from repro.analysis import fig13b_latency_vs_n
+
+        data = fig13b_latency_vs_n(TINY, m_values=(2,), dest_counts=(7, 31))
+        assert data[2][1] > data[2][0]  # grows with n
+
+    def test_fig14a_driver(self):
+        from repro.analysis import fig14a_comparison_vs_m
+
+        data = fig14a_comparison_vs_m(TINY, dest_counts=(15,), m_values=(1, 8))
+        curves = data[15]
+        assert set(curves) == {"binomial", "kbinomial"}
+        assert curves["kbinomial"][1] <= curves["binomial"][1]
+
+    def test_fig14b_driver(self):
+        from repro.analysis import fig14b_comparison_vs_n
+
+        data = fig14b_comparison_vs_n(TINY, m_values=(8,), dest_counts=(15, 31))
+        curves = data[8]
+        for i in range(2):
+            assert curves["kbinomial"][i] <= curves["binomial"][i]

@@ -1,0 +1,44 @@
+"""CSV export."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.analysis import series_to_csv, write_csv
+
+
+def test_write_csv_roundtrip(tmp_path):
+    path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2.5], [3, 4.0]])
+    rows = list(csv.reader(path.open()))
+    assert rows == [["a", "b"], ["1", "2.5"], ["3", "4.0"]]
+
+
+def test_series_to_csv(tmp_path):
+    path = series_to_csv(
+        tmp_path / "fig.csv",
+        "m",
+        [1, 2],
+        {"binomial": [10.0, 20.0], "kbinomial": [5.0, 8.0]},
+    )
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["m", "binomial", "kbinomial"]
+    assert rows[1] == ["1", "10.0", "5.0"]
+
+
+def test_series_length_mismatch_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        series_to_csv(tmp_path / "x.csv", "m", [1, 2], {"a": [1.0]})
+
+
+def test_cli_csv_option(tmp_path, capsys):
+    from repro.cli import main
+
+    out_path = tmp_path / "fig12a.csv"
+    main(["fig12a", "--max-m", "4", "--csv", str(out_path)])
+    captured = capsys.readouterr().out
+    assert "wrote" in captured
+    rows = list(csv.reader(out_path.open()))
+    assert rows[0][0] == "m"
+    assert len(rows) == 5  # header + 4 m values

@@ -1,0 +1,55 @@
+"""ASCII plotting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ascii_plot
+
+
+def test_basic_render_contains_glyphs_and_legend():
+    out = ascii_plot([1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]})
+    assert "o = up" in out and "x = down" in out
+    assert "o" in out and "x" in out
+
+
+def test_extremes_labelled():
+    out = ascii_plot([0, 10], {"line": [5.0, 25.0]})
+    assert "25.0" in out and "5.0" in out
+    assert "0" in out and "10" in out
+
+
+def test_title_and_ylabel():
+    out = ascii_plot([1, 2], {"a": [1, 2]}, title="My Figure", y_label="us")
+    lines = out.splitlines()
+    assert lines[0] == "My Figure" and lines[1] == "us"
+
+
+def test_flat_series_renders():
+    out = ascii_plot([1, 2, 3], {"flat": [7.0, 7.0, 7.0]})
+    body = [line for line in out.splitlines() if "|" in line]
+    assert sum(line.count("o") for line in body) == 3
+
+
+def test_monotone_series_has_monotone_glyph_rows():
+    out = ascii_plot([1, 2, 3, 4], {"a": [1.0, 2.0, 3.0, 4.0]}, width=16, height=8)
+    cols = [
+        line.index("o")
+        for line in out.splitlines()
+        if "o" in line and "|" in line
+    ]
+    # Reading top to bottom: higher values (upper rows) sit at later x
+    # positions, so the columns descend.
+    assert cols == sorted(cols, reverse=True)
+    assert len(cols) == 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_plot([], {"a": []})
+    with pytest.raises(ValueError):
+        ascii_plot([1], {})
+    with pytest.raises(ValueError):
+        ascii_plot([1, 2], {"a": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_plot([1], {"a": [1.0]}, width=2)

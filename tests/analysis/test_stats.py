@@ -1,0 +1,34 @@
+"""Statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import summarize
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.mean == 2.5
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.count == 4
+
+
+def test_summarize_singleton():
+    s = summarize([7.0])
+    assert s.mean == 7.0 and s.std == 0.0 and s.sem == 0.0
+
+
+def test_summarize_std():
+    s = summarize([2.0, 4.0])
+    assert s.std == pytest.approx(1.0)
+
+
+def test_ci_halfwidth_positive_for_spread_data():
+    s = summarize([1.0, 5.0, 9.0, 13.0])
+    assert s.ci95_halfwidth > 0
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])

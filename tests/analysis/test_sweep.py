@@ -1,0 +1,48 @@
+"""Generic sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import sweep, sweep_table
+
+
+def test_cross_product_order():
+    points = sweep(lambda a, b: a * 10 + b, {"a": [1, 2], "b": [3, 4]})
+    assert [(p["a"], p["b"], p.value) for p in points] == [
+        (1, 3, 13),
+        (1, 4, 14),
+        (2, 3, 23),
+        (2, 4, 24),
+    ]
+
+
+def test_single_grid():
+    points = sweep(lambda x: x**2, {"x": [1, 2, 3]})
+    assert [p.value for p in points] == [1, 4, 9]
+
+
+def test_progress_callback_sees_every_point():
+    seen = []
+    sweep(lambda x: x, {"x": range(4)}, progress=lambda params: seen.append(params["x"]))
+    assert seen == [0, 1, 2, 3]
+
+
+def test_sweep_table_shape():
+    points = sweep(lambda n, m: n + m, {"n": [1, 2], "m": [5]})
+    headers, rows = sweep_table(points, value_name="steps")
+    assert headers == ["n", "m", "steps"]
+    assert rows == [[1, 5, 6], [2, 5, 7]]
+
+
+def test_sweep_table_empty_rejected():
+    with pytest.raises(ValueError):
+        sweep_table([])
+
+
+def test_sweep_with_real_measurement():
+    from repro.core import optimal_k
+
+    points = sweep(optimal_k, {"n": [16, 64], "m": [1, 8]})
+    values = {(p["n"], p["m"]): p.value for p in points}
+    assert values[(64, 1)] == 6 and values[(64, 8)] == 2

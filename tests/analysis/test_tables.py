@@ -1,0 +1,40 @@
+"""Table rendering."""
+
+from __future__ import annotations
+
+from repro.analysis import render_comparison, render_series, render_table
+
+
+def test_render_table_alignment():
+    out = render_table(["a", "long_header"], [[1, 2.5], [30, 4.0]])
+    lines = out.splitlines()
+    assert "a" in lines[0] and "long_header" in lines[0]
+    assert "-" in lines[1]
+    assert "30" in lines[2] or "30" in lines[3]
+
+
+def test_render_table_title():
+    out = render_table(["x"], [[1]], title="My Title")
+    assert out.splitlines()[0] == "My Title"
+
+
+def test_float_formatting():
+    out = render_table(["v"], [[3.14159]])
+    assert "3.14" in out and "3.14159" not in out
+
+
+def test_render_series_columns():
+    out = render_series("m", [1, 2], {"bin": [10.0, 20.0], "kbin": [5.0, 8.0]})
+    assert "bin" in out and "kbin" in out
+    assert "20.00" in out
+
+
+def test_render_comparison_includes_ratio():
+    out = render_comparison("m", [1, 2], [10.0, 20.0], [5.0, 10.0])
+    assert "ratio" in out
+    assert "2.00" in out
+
+
+def test_render_comparison_zero_contender():
+    out = render_comparison("m", [1], [10.0], [0.0])
+    assert "inf" in out

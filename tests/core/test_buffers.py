@@ -1,0 +1,72 @@
+"""§3.3.2 buffer-requirement formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compare_buffers, fcfs_buffer_time, fpfs_buffer_time
+
+
+class TestFCFS:
+    def test_paper_formula_multi_child(self):
+        # ((p - i + 1) + (c - 2) p + i) * t_sq
+        assert fcfs_buffer_time(children=3, packets=4, t_sq=1.0, i=2) == (4 - 2 + 1) + 1 * 4 + 2
+
+    def test_independent_of_packet_index(self):
+        # The i terms cancel: residency is the same for every packet.
+        times = {fcfs_buffer_time(4, 8, 1.0, i=i) for i in range(1, 9)}
+        assert len(times) == 1
+
+    def test_linear_in_message_length(self):
+        t1 = fcfs_buffer_time(3, 1)
+        t2 = fcfs_buffer_time(3, 2)
+        t4 = fcfs_buffer_time(3, 4)
+        assert t4 - t2 == 2 * (t2 - t1)
+
+    def test_single_child_case(self):
+        # Only the remaining first-child sends keep the packet around.
+        assert fcfs_buffer_time(1, 5, 1.0, i=2) == 4
+
+    def test_scales_with_t_sq(self):
+        assert fcfs_buffer_time(3, 4, t_sq=2.5) == 2.5 * fcfs_buffer_time(3, 4, t_sq=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fcfs_buffer_time(0, 4)
+        with pytest.raises(ValueError):
+            fcfs_buffer_time(2, 0)
+        with pytest.raises(ValueError):
+            fcfs_buffer_time(2, 4, t_sq=0)
+        with pytest.raises(ValueError):
+            fcfs_buffer_time(2, 4, i=5)
+
+
+class TestFPFS:
+    def test_paper_formula(self):
+        assert fpfs_buffer_time(children=5, packets=100, t_sq=1.0) == 5
+
+    def test_independent_of_message_length(self):
+        assert fpfs_buffer_time(3, 1) == fpfs_buffer_time(3, 1000)
+
+
+class TestComparison:
+    @pytest.mark.parametrize("c", [1, 2, 3, 8])
+    @pytest.mark.parametrize("p", [1, 2, 16, 64])
+    def test_fpfs_never_needs_more_buffering(self, c, p):
+        cmp = compare_buffers(c, p)
+        assert cmp.fpfs <= cmp.fcfs
+
+    def test_equal_only_for_single_packet_multi_child(self):
+        # p = 1, c >= 2: T_c = ((c-2) + 2) = c = T_p.
+        for c in (2, 3, 8):
+            cmp = compare_buffers(c, 1)
+            assert cmp.fcfs == cmp.fpfs
+
+    def test_gap_grows_with_message_length(self):
+        ratios = [compare_buffers(4, p).ratio for p in (1, 4, 16, 64)]
+        assert ratios == sorted(ratios)
+        assert ratios[-1] > 10
+
+    def test_comparison_fields(self):
+        cmp = compare_buffers(3, 4, t_sq=2.0)
+        assert cmp.children == 3 and cmp.packets == 4 and cmp.t_sq == 2.0

@@ -1,0 +1,55 @@
+"""Vectorized coverage table vs the exact recursion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import coverage, coverage_table
+
+
+def test_shape_and_dtype():
+    table = coverage_table(10, 4)
+    assert table.shape == (11, 4)
+    assert table.dtype == np.int64
+
+
+def test_matches_recursion_dense():
+    table = coverage_table(16, 6)
+    for s in range(17):
+        for k in range(1, 7):
+            assert table[s, k - 1] == coverage(s, k)
+
+
+@settings(max_examples=25)
+@given(s_max=st.integers(min_value=0, max_value=30), k_max=st.integers(min_value=1, max_value=8))
+def test_matches_recursion_random_corners(s_max, k_max):
+    table = coverage_table(s_max, k_max)
+    # Spot-check the corners and the diagonal.
+    assert table[s_max, k_max - 1] == coverage(s_max, k_max)
+    assert table[0, 0] == 1
+    s_mid = s_max // 2
+    assert table[s_mid, 0] == coverage(s_mid, 1)
+
+
+def test_rows_monotone_in_k():
+    table = coverage_table(20, 8)
+    diffs = np.diff(table, axis=1)
+    assert (diffs >= 0).all()
+
+
+def test_columns_strictly_increasing_in_s():
+    table = coverage_table(20, 8)
+    diffs = np.diff(table, axis=0)
+    assert (diffs > 0).all()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        coverage_table(-1, 3)
+    with pytest.raises(ValueError):
+        coverage_table(5, 0)
+    with pytest.raises(ValueError):
+        coverage_table(63, 2)

@@ -1,0 +1,104 @@
+"""Exact FCFS step scheduler (§3.1 in the step model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MulticastTree,
+    build_binomial_tree,
+    build_kbinomial_tree,
+    build_linear_tree,
+    fcfs_schedule,
+    fcfs_total_steps,
+    fpfs_total_steps,
+)
+
+
+def two_level_tree():
+    # root -> a -> {b, c}: the FCFS penalty case (late children wait).
+    t = MulticastTree("r")
+    t.add_child("r", "a")
+    t.add_child("a", "b")
+    t.add_child("a", "c")
+    return t
+
+
+def test_m_must_be_positive():
+    with pytest.raises(ValueError):
+        fcfs_schedule(build_linear_tree([0, 1]), 0)
+
+
+def test_single_packet_equals_fpfs():
+    for n in (2, 5, 9, 16):
+        chain = list(range(n))
+        for tree in (build_binomial_tree(chain), build_kbinomial_tree(chain, 2)):
+            assert fcfs_total_steps(tree, 1) == fpfs_total_steps(tree, 1)
+
+
+def test_linear_tree_equals_fpfs():
+    # Fan-out 1 everywhere: disciplines coincide for any m.
+    tree = build_linear_tree(list(range(6)))
+    for m in (1, 2, 5):
+        assert fcfs_total_steps(tree, m) == fpfs_total_steps(tree, m)
+
+
+def test_every_node_gets_every_packet():
+    tree = build_kbinomial_tree(list(range(12)), 2)
+    schedule = fcfs_schedule(tree, 4)
+    assert len(schedule) == 12 * 4
+
+
+def test_late_child_waits_for_whole_message():
+    tree = two_level_tree()
+    m = 3
+    schedule = fcfs_schedule(tree, m)
+    # "a" receives packets at steps 1..3 (source streams to its only
+    # child); "b" (first child) gets cut-through copies; "c" gets
+    # nothing until all three packets sit at "a".
+    last_at_a = max(schedule[("a", p)] for p in range(m))
+    first_at_c = min(schedule[("c", p)] for p in range(m))
+    assert first_at_c > last_at_a
+
+
+def test_fpfs_interleaves_where_fcfs_serializes():
+    tree = two_level_tree()
+    m = 3
+    fcfs = fcfs_schedule(tree, m)
+    from repro.core import fpfs_schedule
+
+    fpfs = fpfs_schedule(tree, m)
+    # First packet reaches the *last* child earlier under FPFS.
+    assert fpfs[("c", 0)] < fcfs[("c", 0)]
+
+
+def test_never_faster_than_fpfs():
+    # FPFS's packet-major order dominates in the step model.
+    for n in (4, 9, 16, 31):
+        chain = list(range(n))
+        for k in (2, 3):
+            tree = build_kbinomial_tree(chain, k)
+            for m in (2, 4, 8):
+                assert fcfs_total_steps(tree, m) >= fpfs_total_steps(tree, m)
+
+
+def test_one_send_per_node_per_step():
+    tree = build_kbinomial_tree(list(range(16)), 3)
+    schedule = fcfs_schedule(tree, 3)
+    sends: dict = {}
+    for (child, p), step in schedule.items():
+        if child == tree.root:
+            continue
+        parent = tree.parent(child)
+        key = (parent, step)
+        assert key not in sends, f"{parent} sends twice in step {step}"
+        sends[key] = (child, p)
+
+
+def test_arrival_order_preserved_per_child():
+    tree = build_kbinomial_tree(list(range(20)), 2)
+    schedule = fcfs_schedule(tree, 5)
+    for node in tree.destinations():
+        arrivals = [schedule[(node, p)] for p in range(5)]
+        assert arrivals == sorted(arrivals)
+        assert len(set(arrivals)) == 5

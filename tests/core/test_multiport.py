@@ -1,0 +1,127 @@
+"""Multi-port extension of the FPFS step model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MulticastTree,
+    build_binomial_tree,
+    build_flat_tree,
+    build_kbinomial_tree,
+    build_linear_tree,
+    fpfs_schedule,
+    fpfs_total_steps,
+)
+
+
+def test_ports_validation():
+    with pytest.raises(ValueError):
+        fpfs_schedule(build_linear_tree([0, 1]), 1, ports=0)
+
+
+def test_one_port_unchanged():
+    # The default must be the paper's model: Fig. 5's counts hold.
+    chain = list(range(4))
+    assert fpfs_total_steps(build_binomial_tree(chain), 3, ports=1) == 6
+    assert fpfs_total_steps(build_linear_tree(chain), 3, ports=1) == 5
+
+
+def test_more_ports_never_slower():
+    for n in (8, 16, 31):
+        chain = list(range(n))
+        for tree in (build_binomial_tree(chain), build_kbinomial_tree(chain, 2)):
+            for m in (1, 4, 8):
+                steps = [fpfs_total_steps(tree, m, ports=p) for p in (1, 2, 4)]
+                assert steps[0] >= steps[1] >= steps[2]
+
+
+def test_flat_tree_scales_inversely_with_ports():
+    # n-1 sends per packet from one node: p ports divide the work.
+    tree = build_flat_tree(list(range(9)))  # 8 destinations
+    assert fpfs_total_steps(tree, 1, ports=1) == 8
+    assert fpfs_total_steps(tree, 1, ports=2) == 4
+    assert fpfs_total_steps(tree, 1, ports=4) == 2
+    assert fpfs_total_steps(tree, 1, ports=8) == 1
+
+
+def test_linear_tree_pipelines_packet_pairs_with_two_ports():
+    # Parallel host links let the chain move 2 packets per step: the
+    # single-packet time is unchanged, the pipeline tail halves.
+    tree = build_linear_tree(list(range(6)))
+    assert fpfs_total_steps(tree, 1, ports=2) == fpfs_total_steps(tree, 1, ports=1)
+    m = 9
+    one = fpfs_total_steps(tree, m, ports=1)  # 5 + 8 = 13
+    two = fpfs_total_steps(tree, m, ports=2)  # 5 + ceil(8/2) = 9
+    assert one == 13 and two == 9
+
+
+def test_enough_ports_saturate():
+    # Once ports cover the entire per-step demand, more change nothing.
+    tree = build_kbinomial_tree(list(range(16)), 2)
+    m = 4
+    lots = fpfs_total_steps(tree, m, ports=64)
+    more = fpfs_total_steps(tree, m, ports=256)
+    assert lots == more
+    # Saturated steps equal the tree height (every hop still costs a step).
+    assert lots == tree.height
+
+
+def test_binomial_benefits_more_than_kbinomial():
+    # The binomial root's burst is what multi-port absorbs, so the
+    # k-binomial advantage narrows as ports grow.
+    chain = list(range(48))
+    m = 16
+    kbin = build_kbinomial_tree(chain, 2)
+    bino = build_binomial_tree(chain)
+    ratios = []
+    for p in (1, 2, 4):
+        ratios.append(
+            fpfs_total_steps(bino, m, ports=p) / fpfs_total_steps(kbin, m, ports=p)
+        )
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert ratios[2] >= 1.0  # but k-binomial still never loses
+
+
+def test_schedule_conservation_with_ports():
+    tree = build_kbinomial_tree(list(range(20)), 3)
+    schedule = fpfs_schedule(tree, 4, ports=2)
+    assert len(schedule) == 20 * 4
+    # At most 2 sends per (node, step).
+    from collections import Counter
+
+    sends = Counter()
+    for (child, p), step in schedule.items():
+        if child != tree.root:
+            sends[(tree.parent(child), step)] += 1
+    assert max(sends.values()) <= 2
+
+
+def test_des_matches_step_model_with_ports():
+    # Same exact cross-validation as the one-port suite, on 2 ports.
+    from repro.mcast import MulticastSimulator
+    from repro.network import Topology, UpDownRouter, host, switch
+    from repro.params import SystemParams
+
+    params = SystemParams(
+        t_s=0.0, t_r=0.0, t_ns=1.0, t_nr=0.0, t_switch=0.0,
+        link_bandwidth=64.0, packet_bytes=64,
+    )
+    topo = Topology()
+    topo.add_switch(0)
+    for i in range(12):
+        topo.add_host(i, switch(0))
+    router = UpDownRouter(topo)
+
+    import random
+
+    rng = random.Random(5)
+    for _ in range(10):
+        n = rng.randint(2, 12)
+        tree = MulticastTree(host(0))
+        for i in range(1, n):
+            tree.add_child(host(rng.randrange(i)), host(i))
+        m = rng.randint(1, 5)
+        sim = MulticastSimulator(topo, router, params=params, ni_ports=2)
+        des = sim.run(tree, m).completion_time
+        assert des == pytest.approx(fpfs_total_steps(tree, m, ports=2) * 2.0)

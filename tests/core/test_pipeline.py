@@ -1,0 +1,174 @@
+"""The pipelined step model: exact schedule vs Theorems 1 and 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_binomial_tree,
+    build_flat_tree,
+    build_kbinomial_tree,
+    build_linear_tree,
+    conventional_latency_model,
+    coverage,
+    fpfs_schedule,
+    fpfs_total_steps,
+    min_k_binomial,
+    multicast_latency_model,
+    packet_completion_steps,
+    theorem2_steps,
+)
+from repro.params import SystemParams
+
+
+class TestFig5:
+    """§2.6's motivating example: 3 destinations, 3 packets."""
+
+    def test_binomial_takes_6_steps(self):
+        assert fpfs_total_steps(build_binomial_tree(list(range(4))), 3) == 6
+
+    def test_linear_takes_5_steps(self):
+        assert fpfs_total_steps(build_linear_tree(list(range(4))), 3) == 5
+
+    def test_single_packet_binomial_beats_linear(self):
+        b = fpfs_total_steps(build_binomial_tree(list(range(4))), 1)
+        l = fpfs_total_steps(build_linear_tree(list(range(4))), 1)
+        assert b == 2 and l == 3
+
+
+class TestFig8:
+    """7 destinations, binomial tree, 3 packets: 9 steps, lag 3."""
+
+    def test_total_steps(self):
+        tree = build_binomial_tree(list(range(8)))
+        assert fpfs_total_steps(tree, 3) == 9
+
+    def test_packet_lag_equals_root_fanout(self):
+        tree = build_binomial_tree(list(range(8)))
+        completions = packet_completion_steps(tree, 3)
+        assert completions == [3, 6, 9]
+
+
+class TestSchedule:
+    def test_source_holds_all_packets_at_step_zero(self):
+        tree = build_linear_tree([0, 1])
+        schedule = fpfs_schedule(tree, 4)
+        assert all(schedule[(0, p)] == 0 for p in range(4))
+
+    def test_m_must_be_positive(self):
+        with pytest.raises(ValueError):
+            fpfs_schedule(build_linear_tree([0, 1]), 0)
+
+    def test_every_node_gets_every_packet(self):
+        tree = build_kbinomial_tree(list(range(20)), 3)
+        schedule = fpfs_schedule(tree, 5)
+        for node in tree.nodes():
+            for p in range(5):
+                assert (node, p) in schedule
+
+    def test_packets_arrive_in_order_at_every_node(self):
+        tree = build_kbinomial_tree(list(range(31)), 2)
+        schedule = fpfs_schedule(tree, 6)
+        for node in tree.destinations():
+            arrivals = [schedule[(node, p)] for p in range(6)]
+            assert arrivals == sorted(arrivals)
+            assert len(set(arrivals)) == 6  # strictly increasing
+
+    def test_one_send_per_node_per_step(self):
+        tree = build_kbinomial_tree(list(range(16)), 3)
+        schedule = fpfs_schedule(tree, 4)
+        sends: dict = {}
+        for (child, p), step in schedule.items():
+            if child == tree.root:
+                continue
+            parent = tree.parent(child)
+            key = (parent, step)
+            assert key not in sends, f"{parent} sends twice in step {step}"
+            sends[key] = (child, p)
+
+    def test_trivial_tree(self):
+        from repro.core import MulticastTree
+
+        assert fpfs_total_steps(MulticastTree("solo"), 3) == 0
+
+    def test_flat_tree_steps(self):
+        # Separate addressing: root sends n-1 copies per packet.
+        tree = build_flat_tree(list(range(5)))
+        assert fpfs_total_steps(tree, 2) == 8  # 4 sends per packet, 2 packets
+
+
+class TestTheorems:
+    def test_theorem1_lag_on_kbinomial_full_trees(self):
+        # On full k-binomial trees, successive completions differ by k_T.
+        for k in (1, 2, 3, 4):
+            n = coverage(k + 2, k)
+            tree = build_kbinomial_tree(list(range(n)), k)
+            completions = packet_completion_steps(tree, 5)
+            lags = {b - a for a, b in zip(completions, completions[1:])}
+            assert lags == {tree.root_fanout}, (k, completions)
+
+    def test_theorem2_total_on_kbinomial_full_trees(self):
+        for k in (1, 2, 3):
+            for extra in (0, 1, 2, 3):
+                s = k + extra
+                n = coverage(s, k)
+                tree = build_kbinomial_tree(list(range(n)), k)
+                for m in (1, 2, 4, 7):
+                    assert fpfs_total_steps(tree, m) == theorem2_steps(
+                        s, m, tree.root_fanout
+                    )
+
+    def test_theorem2_formula_is_upper_bound_for_partial_trees(self):
+        # With n < N(s, k), the constructed tree can beat T1 + (m-1)k
+        # but never exceed it (fan-outs never exceed k).
+        for n in range(2, 65):
+            for k in range(1, min_k_binomial(n) + 1):
+                tree = build_kbinomial_tree(list(range(n)), k)
+                t1 = max(tree.first_packet_steps().values())
+                for m in (2, 5):
+                    exact = fpfs_total_steps(tree, m)
+                    assert exact <= t1 + (m - 1) * k, (n, k, m)
+
+    def test_theorem2_steps_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_steps(3, 0, 2)
+        with pytest.raises(ValueError):
+            theorem2_steps(3, 2, 0)
+        assert theorem2_steps(3, 1, 0) == 3  # single packet needs no pipeline
+
+
+class TestLatencyModels:
+    def test_smart_latency_formula(self):
+        p = SystemParams(t_s=10, t_r=20, t_ns=1, t_nr=1, t_switch=0, link_bandwidth=64, packet_bytes=64)
+        # t_step = 1 + 0 + 1 + 1 = 3.
+        assert multicast_latency_model(5, p) == 10 + 5 * 3 + 20
+
+    def test_conventional_single_packet_matches_paper_formula(self):
+        # §2.5: ceil(log2 n) * (t_step + t_s + t_r).
+        p = SystemParams()
+        import math
+
+        for n in (2, 4, 8, 64):
+            expected = math.ceil(math.log2(n)) * (p.t_step + p.t_s + p.t_r)
+            assert conventional_latency_model(n, 1, p) == pytest.approx(expected)
+
+    def test_conventional_scales_with_message_length(self):
+        p = SystemParams()
+        assert conventional_latency_model(8, 4, p) > conventional_latency_model(8, 1, p)
+
+    def test_conventional_validation(self):
+        p = SystemParams()
+        with pytest.raises(ValueError):
+            conventional_latency_model(0, 1, p)
+        with pytest.raises(ValueError):
+            conventional_latency_model(4, 0, p)
+
+    def test_smart_beats_conventional_single_packet(self):
+        # §2.5's whole point.
+        p = SystemParams()
+        for n in (4, 16, 64):
+            smart = multicast_latency_model(
+                __import__("math").ceil(__import__("math").log2(n)), p
+            )
+            conventional = conventional_latency_model(n, 1, p)
+            assert smart < conventional

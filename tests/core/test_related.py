@@ -1,0 +1,92 @@
+"""De Coster et al. [2] host-packetization baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    decoster_latency,
+    decoster_optimal_packet_size,
+    min_k_binomial,
+    multicast_latency_model,
+    optimal_k,
+    predicted_steps,
+    steps_needed,
+)
+from repro.params import PAPER_PARAMS
+
+
+def test_single_packet_case_uses_best_tree():
+    # Message fits one packet: best k is the binomial (T1 = ceil(log2 n)).
+    p = PAPER_PARAMS
+    lat = decoster_latency(8, 64, 64, p)
+    per_step = p.t_s + p.t_r + p.t_step
+    assert lat == pytest.approx(3 * per_step)
+
+
+def test_pipelining_uses_optimal_k():
+    # m=8, n=64: best steps are 22 (k=2), not the binomial's 48.
+    p = PAPER_PARAMS
+    lat = decoster_latency(64, 512, 64, p)
+    per_step = p.t_s + p.t_r + p.t_step
+    assert lat == pytest.approx(22 * per_step)
+
+
+def test_interior_packet_size_optimum_for_long_messages():
+    # 64 KiB to 63 destinations: neither tiny packets (per-packet host
+    # overhead) nor one giant packet (no pipelining) is best.
+    p = PAPER_PARAMS
+    size, _ = decoster_optimal_packet_size(64, 65536, p)
+    assert 32 < size < 65536
+
+
+def test_optimal_size_shifts_with_message_length():
+    # The §1 critique: the tuned packet size depends on the workload,
+    # which a fixed-packet network cannot accommodate.
+    p = PAPER_PARAMS
+    small, _ = decoster_optimal_packet_size(64, 256, p)
+    large, _ = decoster_optimal_packet_size(64, 262144, p)
+    assert small != large
+
+
+def test_optimal_packet_size_matches_grid_minimum():
+    p = PAPER_PARAMS
+    grid = (64, 256, 1024, 4096)
+    size, lat = decoster_optimal_packet_size(64, 4096, p, candidate_sizes=grid)
+    values = {s: decoster_latency(64, 4096, s, p) for s in grid}
+    assert lat == min(values.values()) and values[size] == lat
+
+
+def test_smart_ni_wins_at_equal_packet_size():
+    # Same fixed 64-byte packets: the smart NI drops t_s + t_r from
+    # every pipeline step, so it wins for every (n, m).
+    p = PAPER_PARAMS
+    for n in (4, 16, 64):
+        for nbytes in (64, 512, 2048):
+            m = p.packets_for(nbytes)
+            host = decoster_latency(n, nbytes, p.packet_bytes, p)
+            steps = predicted_steps(n, optimal_k(n, m), m)
+            smart = multicast_latency_model(steps, p)
+            assert smart < host, (n, nbytes)
+
+
+def test_host_scheme_step_count_matches_best_k():
+    p = PAPER_PARAMS
+    n, m = 32, 4
+    best_steps = min(
+        steps_needed(n, k) + (m - 1) * k for k in range(1, min_k_binomial(n) + 1)
+    )
+    per_step = p.t_s + p.t_r + p.t_step
+    assert decoster_latency(n, m * 64, 64, p) == pytest.approx(best_steps * per_step)
+
+
+def test_validation():
+    p = PAPER_PARAMS
+    with pytest.raises(ValueError):
+        decoster_latency(1, 64, 64, p)
+    with pytest.raises(ValueError):
+        decoster_latency(8, 0, 64, p)
+    with pytest.raises(ValueError):
+        decoster_latency(8, 64, 0, p)
+    with pytest.raises(ValueError):
+        decoster_optimal_packet_size(8, 64, p, candidate_sizes=())

@@ -1,0 +1,61 @@
+"""ASCII tree rendering and stats."""
+
+from __future__ import annotations
+
+from repro.core import (
+    MulticastTree,
+    build_kbinomial_tree,
+    build_linear_tree,
+    render_tree,
+    tree_stats,
+)
+from repro.network import host
+
+
+def test_single_node():
+    assert render_tree(MulticastTree("r"), show_steps=False) == "r"
+
+
+def test_linear_chain_shape():
+    out = render_tree(build_linear_tree([0, 1, 2]), show_steps=False)
+    assert out.splitlines() == ["0", "└─ 1", "   └─ 2"]
+
+
+def test_steps_annotation():
+    out = render_tree(build_linear_tree([0, 1]))
+    assert "[s0]" in out and "[s1]" in out
+
+
+def test_branching_connectors():
+    t = MulticastTree(0)
+    t.add_child(0, 1)
+    t.add_child(0, 2)
+    lines = render_tree(t, show_steps=False).splitlines()
+    assert lines[1].startswith("├─") and lines[2].startswith("└─")
+
+
+def test_host_labels():
+    t = build_linear_tree([host(3), host(7)])
+    out = render_tree(t, show_steps=False)
+    assert "H3" in out and "H7" in out
+
+
+def test_custom_label():
+    t = build_linear_tree([0, 1])
+    out = render_tree(t, label=lambda n: f"node-{n}", show_steps=False)
+    assert "node-0" in out and "node-1" in out
+
+
+def test_every_node_appears_once():
+    tree = build_kbinomial_tree(list(range(20)), 3)
+    out = render_tree(tree, show_steps=False)
+    assert len(out.splitlines()) == 20
+
+
+def test_tree_stats():
+    tree = build_kbinomial_tree(list(range(16)), 2)
+    stats = tree_stats(tree)
+    assert stats["nodes"] == 16
+    assert stats["max_fanout"] <= 2
+    assert stats["first_packet_steps"] == tree.height or stats["first_packet_steps"] >= tree.height
+    assert stats["leaves"] >= 1

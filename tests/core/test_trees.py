@@ -1,0 +1,159 @@
+"""MulticastTree structure and the baseline constructions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    MulticastTree,
+    build_binomial_tree,
+    build_flat_tree,
+    build_linear_tree,
+)
+
+
+class TestMulticastTree:
+    def test_root_only(self):
+        t = MulticastTree("r")
+        assert len(t) == 1 and t.root == "r"
+        assert t.destinations() == []
+        assert t.root_fanout == 0 and t.max_fanout == 0
+
+    def test_add_child_and_order(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.add_child(0, 2)
+        assert t.children(0) == (1, 2)
+        assert t.parent(1) == 0
+
+    def test_add_child_unknown_parent(self):
+        t = MulticastTree(0)
+        with pytest.raises(KeyError):
+            t.add_child(9, 1)
+
+    def test_add_duplicate_child_rejected(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        with pytest.raises(ValueError):
+            t.add_child(0, 1)
+
+    def test_root_has_no_parent(self):
+        t = MulticastTree(0)
+        with pytest.raises(KeyError):
+            t.parent(0)
+
+    def test_nodes_depth_first_child_order(self):
+        t = MulticastTree("r")
+        t.add_child("r", "a")
+        t.add_child("r", "b")
+        t.add_child("a", "c")
+        assert list(t.nodes()) == ["r", "a", "c", "b"]
+
+    def test_edges(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.add_child(1, 2)
+        assert list(t.edges()) == [(0, 1), (1, 2)]
+
+    def test_contains(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        assert 1 in t and 2 not in t
+
+    def test_depth_and_height(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.add_child(1, 2)
+        t.add_child(0, 3)
+        assert t.depth_of(2) == 2 and t.depth_of(3) == 1
+        assert t.height == 2
+
+    def test_subtree_size(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.add_child(1, 2)
+        t.add_child(0, 3)
+        assert t.subtree_size(0) == 4
+        assert t.subtree_size(1) == 2
+        assert t.subtree_size(3) == 1
+
+    def test_validate_ok(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.validate()
+
+
+class TestFirstPacketSteps:
+    def test_linear_chain_steps(self):
+        t = build_linear_tree(list(range(5)))
+        steps = t.first_packet_steps()
+        assert [steps[i] for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_children_receive_in_order(self):
+        t = MulticastTree("r")
+        for c in "abc":
+            t.add_child("r", c)
+        steps = t.first_packet_steps()
+        assert (steps["a"], steps["b"], steps["c"]) == (1, 2, 3)
+
+    def test_forwarding_starts_step_after_receive(self):
+        t = MulticastTree(0)
+        t.add_child(0, 1)
+        t.add_child(1, 2)
+        steps = t.first_packet_steps()
+        assert steps[2] == 2
+
+
+class TestLinearTree:
+    def test_structure(self):
+        t = build_linear_tree([3, 1, 4])
+        assert t.children(3) == (1,) and t.children(1) == (4,)
+        assert t.max_fanout == 1
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            build_linear_tree([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            build_linear_tree([1, 1])
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13, 16, 31, 32, 48, 63, 64])
+    def test_root_fanout_is_ceil_log2(self, n):
+        t = build_binomial_tree(list(range(n)))
+        assert t.root_fanout == math.ceil(math.log2(n))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 8, 13, 16, 31, 32, 48, 63, 64])
+    def test_first_packet_within_ceil_log2_steps(self, n):
+        t = build_binomial_tree(list(range(n)))
+        assert max(t.first_packet_steps().values()) == math.ceil(math.log2(n))
+
+    def test_covers_chain_exactly(self):
+        chain = list(range(21))
+        t = build_binomial_tree(chain)
+        assert set(t.nodes()) == set(chain)
+
+    def test_power_of_two_textbook_shape(self):
+        t = build_binomial_tree(list(range(8)))
+        # Textbook B_3: root fan-out 3, subtree sizes 4, 2, 1.
+        sizes = [t.subtree_size(c) for c in t.children(t.root)]
+        assert sizes == [4, 2, 1]
+
+    def test_single_destination(self):
+        t = build_binomial_tree([0, 1])
+        assert t.children(0) == (1,)
+
+
+class TestFlatTree:
+    def test_source_sends_to_all(self):
+        t = build_flat_tree(list(range(6)))
+        assert t.root_fanout == 5
+        assert all(t.fanout(c) == 0 for c in t.children(0))
+
+    def test_first_packet_linear_in_n(self):
+        t = build_flat_tree(list(range(6)))
+        assert max(t.first_packet_steps().values()) == 5

@@ -1,0 +1,92 @@
+"""Tree validators: they accept good trees and catch broken ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MulticastTree,
+    build_kbinomial_tree,
+    check_chain_locality,
+    check_covers,
+    check_fanout_cap,
+    check_kbinomial_depth,
+)
+
+
+@pytest.fixture
+def good():
+    chain = list(range(12))
+    return build_kbinomial_tree(chain, 2), chain
+
+
+def test_check_covers_accepts(good):
+    tree, chain = good
+    check_covers(tree, chain)
+
+
+def test_check_covers_rejects_wrong_root(good):
+    tree, chain = good
+    with pytest.raises(ValueError, match="root"):
+        check_covers(tree, [99] + chain[1:])
+
+
+def test_check_covers_rejects_missing_node(good):
+    tree, chain = good
+    with pytest.raises(ValueError, match="coverage"):
+        check_covers(tree, chain + [99])
+
+
+def test_check_covers_rejects_extra_node(good):
+    tree, chain = good
+    with pytest.raises(ValueError, match="coverage"):
+        check_covers(tree, chain[:-1])
+
+
+def test_check_fanout_cap_accepts(good):
+    tree, _ = good
+    check_fanout_cap(tree, 2)
+
+
+def test_check_fanout_cap_rejects(good):
+    tree, _ = good
+    with pytest.raises(ValueError, match="fan-out"):
+        check_fanout_cap(tree, 1)
+
+
+def test_check_depth_accepts(good):
+    tree, _ = good
+    check_kbinomial_depth(tree, 2)
+
+
+def test_check_depth_rejects_linear_tree_as_binomial():
+    from repro.core import build_linear_tree
+
+    tree = build_linear_tree(list(range(8)))
+    with pytest.raises(ValueError, match="steps"):
+        check_kbinomial_depth(tree, 3)  # T1(8,3)=3 but chain takes 7
+
+
+def test_chain_locality_accepts(good):
+    tree, chain = good
+    check_chain_locality(tree, chain)
+
+
+def test_chain_locality_rejects_interleaved_subtrees():
+    # Root sends to chain[2]; chain[2]'s subtree grabs chain[1] — not a
+    # contiguous rightward segment.
+    tree = MulticastTree(0)
+    tree.add_child(0, 2)
+    tree.add_child(2, 1)
+    tree.add_child(0, 3)
+    with pytest.raises(ValueError):
+        check_chain_locality(tree, [0, 1, 2, 3])
+
+
+def test_chain_locality_rejects_node_not_leftmost():
+    # Subtree covers {1, 2} but its root is 2: 2 sends *leftward*.
+    tree = MulticastTree(0)
+    tree.add_child(0, 2)
+    tree.add_child(2, 1)
+    with pytest.raises(ValueError, match="leftmost"):
+        check_chain_locality(tree, [0, 1, 2])

@@ -1,0 +1,150 @@
+"""Collective operations over FPFS NIs (extension of the paper's §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.mcast import (
+    MulticastSimulator,
+    broadcast,
+    cco_ordering,
+    chain_for,
+    gather,
+    multiple_multicast,
+    scatter,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    topology = request.getfixturevalue("paper_topology")
+    router = request.getfixturevalue("paper_router")
+    ordering = request.getfixturevalue("paper_ordering")
+    return topology, router, ordering, MulticastSimulator(topology, router)
+
+
+class TestRunMany:
+    def test_results_in_input_order(self, setup):
+        _, _, ordering, sim = setup
+        chain_a = chain_for(ordering[0], ordering[1:5], ordering)
+        chain_b = chain_for(ordering[20], ordering[21:25], ordering)
+        results = sim.run_many(
+            [(build_kbinomial_tree(chain_a, 2), 2), (build_kbinomial_tree(chain_b, 2), 4)]
+        )
+        assert results[0].message.num_packets == 2
+        assert results[1].message.num_packets == 4
+
+    def test_empty_rejected(self, setup):
+        *_, sim = setup
+        with pytest.raises(ValueError):
+            sim.run_many([])
+
+    def test_concurrent_multicasts_slower_than_isolated(self, setup):
+        # Shared channels mean each group is no faster than alone.
+        _, _, ordering, sim = setup
+        chain_a = chain_for(ordering[0], ordering[1:17], ordering)
+        chain_b = chain_for(ordering[17], ordering[18:34], ordering)
+        tree_a = build_kbinomial_tree(chain_a, 2)
+        tree_b = build_kbinomial_tree(chain_b, 2)
+        alone_a = sim.run(tree_a, 8).latency
+        alone_b = sim.run(tree_b, 8).latency
+        together = sim.run_many([(tree_a, 8), (tree_b, 8)])
+        assert together[0].latency >= alone_a - 1e-9
+        assert together[1].latency >= alone_b - 1e-9
+
+
+class TestBroadcast:
+    def test_reaches_every_host(self, setup):
+        topology, _, ordering, sim = setup
+        result = broadcast(sim, ordering[0], ordering, 4)
+        assert len(result.destination_completion) == len(topology.hosts) - 1
+
+    def test_explicit_k_override(self, setup):
+        _, _, ordering, sim = setup
+        r1 = broadcast(sim, ordering[0], ordering, 8, k=1)
+        r2 = broadcast(sim, ordering[0], ordering, 8, k=2)
+        assert r2.latency < r1.latency  # linear chain is far worse at n=64
+
+
+class TestScatter:
+    def test_each_destination_gets_own_message(self, setup):
+        _, _, ordering, sim = setup
+        chain = chain_for(ordering[0], ordering[1:9], ordering)
+        tree = build_kbinomial_tree(chain, 2)
+        result = scatter(sim, tree, 3)
+        assert len(result.parts) == 8
+        leaves = {part.message.destinations[-1] for part in result.parts}
+        assert leaves == set(tree.destinations())
+        for part in result.parts:
+            assert part.message.num_packets == 3
+            # Tree strategy: intermediate relays appear as receivers of
+            # the path message; the final destination is the path leaf.
+            assert part.message.destinations[-1] in tree.destinations()
+
+    def test_strategies_both_complete(self, setup):
+        _, _, ordering, sim = setup
+        chain = chain_for(ordering[0], ordering[1:9], ordering)
+        tree = build_kbinomial_tree(chain, 2)
+        t = scatter(sim, tree, 2, strategy="tree")
+        d = scatter(sim, tree, 2, strategy="direct")
+        assert t.makespan > 0 and d.makespan > 0
+
+    def test_unknown_strategy_rejected(self, setup):
+        _, _, ordering, sim = setup
+        chain = chain_for(ordering[0], ordering[1:5], ordering)
+        tree = build_kbinomial_tree(chain, 2)
+        with pytest.raises(ValueError):
+            scatter(sim, tree, 2, strategy="bogus")
+
+    def test_makespan_is_max_of_parts(self, setup):
+        _, _, ordering, sim = setup
+        chain = chain_for(ordering[0], ordering[1:7], ordering)
+        tree = build_kbinomial_tree(chain, 2)
+        result = scatter(sim, tree, 2)
+        assert result.makespan == max(p.latency for p in result.parts)
+
+
+class TestGather:
+    def test_root_receives_from_every_source(self, setup):
+        _, _, ordering, sim = setup
+        result = gather(sim, ordering[0], ordering[1:9], 2)
+        assert len(result.parts) == 8
+        for part in result.parts:
+            assert part.message.destinations == (ordering[0],)
+
+    def test_empty_sources_rejected(self, setup):
+        _, _, ordering, sim = setup
+        with pytest.raises(ValueError):
+            gather(sim, ordering[0], [], 2)
+
+
+class TestMultipleMulticast:
+    def test_disjoint_groups_all_complete(self, setup):
+        _, _, ordering, sim = setup
+        groups = [
+            (ordering[0], ordering[1:9]),
+            (ordering[16], ordering[17:25]),
+            (ordering[32], ordering[33:41]),
+        ]
+        result = multiple_multicast(sim, groups, ordering, 4)
+        assert len(result.parts) == 3
+        assert result.makespan == max(p.latency for p in result.parts)
+
+    def test_empty_groups_rejected(self, setup):
+        _, _, ordering, sim = setup
+        with pytest.raises(ValueError):
+            multiple_multicast(sim, [], ordering, 2)
+
+    def test_contention_raises_makespan_vs_isolated(self, setup):
+        # Overlapping groups must not finish faster than isolated runs.
+        _, _, ordering, sim = setup
+        groups = [
+            (ordering[0], ordering[1:33]),
+            (ordering[1], ordering[33:63]),
+        ]
+        combined = multiple_multicast(sim, groups, ordering, 8)
+        isolated = max(
+            multiple_multicast(sim, [g], ordering, 8).makespan for g in groups
+        )
+        assert combined.makespan >= isolated - 1e-9

@@ -1,0 +1,76 @@
+"""Trace-based conservation invariants of full simulation runs.
+
+These tests reconstruct the packet flow from the event trace and check
+global properties no single module can see: every send pairs with a
+receive, forwarding respects tree edges, and nothing is duplicated or
+invented.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.mcast import MulticastSimulator, chain_for
+from repro.nic import FCFSInterface, FPFSInterface
+
+
+@pytest.fixture(scope="module", params=[FPFSInterface, FCFSInterface], ids=["fpfs", "fcfs"])
+def traced_run(request, paper_topology, paper_router, paper_ordering):
+    chain = chain_for(paper_ordering[0], list(paper_ordering[1:25]), paper_ordering)
+    tree = build_kbinomial_tree(chain, 3)
+    sim = MulticastSimulator(
+        paper_topology, paper_router, ni_class=request.param, collect_trace=True
+    )
+    m = 5
+    result = sim.run(tree, m)
+    return tree, m, result, sim.last_trace
+
+
+def test_sends_equal_receives(traced_run):
+    tree, m, result, trace = traced_run
+    assert trace.count("ni_send") == trace.count("ni_recv")
+
+
+def test_total_volume_is_edges_times_packets(traced_run):
+    tree, m, result, trace = traced_run
+    n_edges = sum(1 for _ in tree.edges())
+    assert trace.count("ni_send") == n_edges * m
+
+
+def test_each_edge_carries_each_packet_exactly_once(traced_run):
+    tree, m, result, trace = traced_run
+    counter = Counter(
+        (r["src"], r["dst"], r["pkt"]) for r in trace.select("ni_send")
+    )
+    expected = {(u, v, p) for u, v in tree.edges() for p in range(m)}
+    assert set(counter) == expected
+    assert all(count == 1 for count in counter.values())
+
+
+def test_sends_follow_tree_edges_only(traced_run):
+    tree, m, result, trace = traced_run
+    edges = set(tree.edges())
+    for record in trace.select("ni_send"):
+        assert (record["src"], record["dst"]) in edges
+
+
+def test_forward_happens_after_receive(traced_run):
+    tree, m, result, trace = traced_run
+    recv_time = {
+        (r["host"], r["pkt"]): r.time for r in trace.select("ni_recv")
+    }
+    for record in trace.select("ni_send"):
+        src = record["src"]
+        if src == tree.root:
+            continue
+        assert record.time >= recv_time[(src, record["pkt"])]
+
+
+def test_receive_times_match_result(traced_run):
+    tree, m, result, trace = traced_run
+    for dest, completion in result.destination_completion.items():
+        last = max(r.time for r in trace.select("ni_recv", host=dest))
+        assert completion == pytest.approx(last)

@@ -1,0 +1,86 @@
+"""Depth-contention analysis."""
+
+from __future__ import annotations
+
+from repro.core import build_binomial_tree, build_kbinomial_tree, build_linear_tree
+from repro.mcast import (
+    chain_for,
+    channel_sharing,
+    cco_ordering,
+    depth_contention,
+    dimension_ordered_chain,
+    random_ordering,
+)
+from repro.network import EcubeRouter
+
+
+class TestOnKAryNCube:
+    """Dimension-ordered chains give contention-free trees [9]."""
+
+    def test_kbinomial_on_dimension_chain_is_contention_free(self, torus_4x4):
+        router = EcubeRouter(torus_4x4)
+        chain = dimension_ordered_chain(torus_4x4)
+        for k in (1, 2, 3, 4):
+            tree = build_kbinomial_tree(chain, k)
+            report = depth_contention(tree, router)
+            assert report.is_contention_free, (k, report.conflicts_by_step)
+
+    def test_binomial_on_dimension_chain_is_contention_free(self, torus_4x4):
+        router = EcubeRouter(torus_4x4)
+        chain = dimension_ordered_chain(torus_4x4)
+        report = depth_contention(build_binomial_tree(chain), router)
+        assert report.is_contention_free
+
+    def test_linear_tree_trivially_contention_free(self, torus_4x4):
+        router = EcubeRouter(torus_4x4)
+        chain = dimension_ordered_chain(torus_4x4)
+        report = depth_contention(build_linear_tree(chain), router)
+        # One message per step: nothing to conflict with.
+        assert report.pairs_checked == 0 and report.is_contention_free
+
+
+class TestOnIrregular:
+    def test_cco_has_less_contention_than_random(
+        self, paper_topology, paper_router, paper_ordering
+    ):
+        """The HPCA'97 motivation for CCO, measured."""
+        src = paper_ordering[0]
+        dests = [h for h in paper_ordering if h != src]
+        cco_chain = chain_for(src, dests, paper_ordering)
+        rnd = random_ordering(paper_topology, seed=8)
+        rnd_dests = [h for h in rnd if h != rnd[0]]
+        rnd_chain = chain_for(rnd[0], rnd_dests, rnd)
+        k = 3
+        cco_report = depth_contention(build_kbinomial_tree(cco_chain, k), paper_router)
+        rnd_report = depth_contention(build_kbinomial_tree(rnd_chain, k), paper_router)
+        assert cco_report.conflicting_pairs < rnd_report.conflicting_pairs
+
+    def test_report_fields_consistent(self, paper_router, paper_ordering):
+        chain = list(paper_ordering[:32])
+        report = depth_contention(build_kbinomial_tree(chain, 2), paper_router)
+        assert report.conflicting_pairs == sum(report.conflicts_by_step.values())
+        assert 0.0 <= report.conflict_rate <= 1.0
+        if report.conflicting_pairs:
+            assert report.shared_channels
+
+
+class TestChannelSharing:
+    def test_counts_every_edge_route(self, paper_router, paper_ordering):
+        chain = list(paper_ordering[:16])
+        tree = build_kbinomial_tree(chain, 2)
+        usage = channel_sharing(tree, paper_router)
+        total_route_hops = sum(
+            len(paper_router.route(u, v)) for u, v in tree.edges()
+        )
+        assert sum(usage.values()) == total_route_hops
+
+    def test_host_injection_channel_usage_matches_fanout(
+        self, paper_topology, paper_router, paper_ordering
+    ):
+        chain = list(paper_ordering[:16])
+        tree = build_kbinomial_tree(chain, 2)
+        usage = channel_sharing(tree, paper_router)
+        for node in tree.nodes():
+            if tree.fanout(node):
+                inject = (node, paper_topology.host_switch(node))
+                assert usage[inject] == tree.fanout(node)

@@ -1,0 +1,103 @@
+"""Cross-validation: the DES equals the analytic step scheduler exactly.
+
+On a single-switch (star) fabric with zero switch delay, zero receive
+overhead, and zero host overheads, both models are constrained
+identically: each NI performs one send per ``c = t_ns + wire_time``
+units and forwarding can start the instant a packet lands.  The DES
+completion time must then equal ``fpfs_total_steps(tree, m) * c`` for
+*any* tree and packet count — the strongest possible agreement between
+the paper's analytic model (§4.1) and the full simulator.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MulticastTree, fcfs_total_steps, fpfs_total_steps
+from repro.mcast import MulticastSimulator
+from repro.network import Topology, UpDownRouter, host, switch
+from repro.nic import FCFSInterface
+from repro.params import SystemParams
+
+#: Step-aligned parameters: one send = t_ns(1) + wire(1) = 2 units.
+STEP_PARAMS = SystemParams(
+    t_s=0.0,
+    t_r=0.0,
+    t_ns=1.0,
+    t_nr=0.0,
+    t_switch=0.0,
+    link_bandwidth=64.0,
+    packet_bytes=64,
+)
+STEP_COST = STEP_PARAMS.t_ns + STEP_PARAMS.wire_time
+
+MAX_NODES = 24
+
+
+def _star(n_hosts: int):
+    topo = Topology()
+    topo.add_switch(0)
+    for i in range(n_hosts):
+        topo.add_host(i, switch(0))
+    return topo, UpDownRouter(topo)
+
+
+_TOPO, _ROUTER = _star(MAX_NODES)
+
+
+def random_tree(n: int, seed: int) -> MulticastTree:
+    """Uniform random recursive tree over hosts 0..n-1."""
+    rng = random.Random(seed)
+    tree = MulticastTree(host(0))
+    for i in range(1, n):
+        tree.add_child(host(rng.randrange(i)), host(i))
+    return tree
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=MAX_NODES),
+    m=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_des_equals_step_model_fpfs(n, m, seed):
+    tree = random_tree(n, seed)
+    simulator = MulticastSimulator(_TOPO, _ROUTER, params=STEP_PARAMS)
+    des = simulator.run(tree, m).completion_time
+    assert des == pytest.approx(fpfs_total_steps(tree, m) * STEP_COST)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=MAX_NODES),
+    m=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_des_equals_step_model_fcfs(n, m, seed):
+    tree = random_tree(n, seed)
+    simulator = MulticastSimulator(
+        _TOPO, _ROUTER, params=STEP_PARAMS, ni_class=FCFSInterface
+    )
+    des = simulator.run(tree, m).completion_time
+    assert des == pytest.approx(fcfs_total_steps(tree, m) * STEP_COST)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=MAX_NODES),
+    m=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_per_packet_completions_match(n, m, seed):
+    from repro.core import packet_completion_steps
+
+    tree = random_tree(n, seed)
+    simulator = MulticastSimulator(_TOPO, _ROUTER, params=STEP_PARAMS)
+    result = simulator.run(tree, m)
+    expected = packet_completion_steps(tree, m)
+    for des_time, steps in zip(result.packet_completion, expected):
+        assert des_time == pytest.approx(steps * STEP_COST)

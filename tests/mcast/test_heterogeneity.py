@@ -1,0 +1,69 @@
+"""Per-host NI speed factors (straggler study, extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.mcast import MulticastSimulator, chain_for
+from repro.nic import FPFSInterface
+
+
+@pytest.fixture
+def scenario(paper_topology, paper_router, paper_ordering):
+    chain = chain_for(paper_ordering[0], list(paper_ordering[1:17]), paper_ordering)
+    tree = build_kbinomial_tree(chain, 2)
+    return paper_topology, paper_router, tree
+
+
+def test_invalid_factor_rejected(scenario):
+    topology, router, tree = scenario
+    with pytest.raises(ValueError):
+        MulticastSimulator(topology, router, host_speed={tree.root: 0.0})
+
+
+def test_uniform_machine_unchanged_by_empty_map(scenario):
+    topology, router, tree = scenario
+    base = MulticastSimulator(topology, router).run(tree, 4).latency
+    mapped = MulticastSimulator(topology, router, host_speed={}).run(tree, 4).latency
+    assert base == mapped
+
+
+def test_slow_internal_node_hurts(scenario):
+    topology, router, tree = scenario
+    internal = next(n for n in tree.nodes() if tree.fanout(n) and n != tree.root)
+    base = MulticastSimulator(topology, router).run(tree, 8).latency
+    slowed = MulticastSimulator(
+        topology, router, host_speed={internal: 4.0}
+    ).run(tree, 8).latency
+    assert slowed > base
+
+
+def test_slow_leaf_hurts_less_than_slow_internal(scenario):
+    topology, router, tree = scenario
+    internal = next(n for n in tree.nodes() if tree.fanout(n) and n != tree.root)
+    leaf = next(n for n in tree.nodes() if tree.fanout(n) == 0)
+    slow_internal = MulticastSimulator(
+        topology, router, host_speed={internal: 4.0}
+    ).run(tree, 8).latency
+    slow_leaf = MulticastSimulator(
+        topology, router, host_speed={leaf: 4.0}
+    ).run(tree, 8).latency
+    assert slow_leaf <= slow_internal
+
+
+def test_fast_nis_help(scenario):
+    topology, router, tree = scenario
+    base = MulticastSimulator(topology, router).run(tree, 8).latency
+    turbo = MulticastSimulator(
+        topology, router, host_speed={h: 0.5 for h in topology.hosts}
+    ).run(tree, 8).latency
+    assert turbo < base
+
+
+def test_unlisted_hosts_run_at_nominal_speed(scenario):
+    topology, router, tree = scenario
+    sim = MulticastSimulator(topology, router, host_speed={tree.root: 2.0})
+    other = next(h for h in topology.hosts if h != tree.root)
+    assert sim._params_for(other) is sim.params
+    assert sim._params_for(tree.root).t_ns == sim.params.t_ns * 2

@@ -1,0 +1,80 @@
+"""Property-based tests on orderings and chain construction."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcast import chain_for
+from repro.network import host
+
+BASE = [host(i) for i in range(16)]
+
+
+@settings(max_examples=60)
+@given(
+    src_index=st.integers(min_value=0, max_value=15),
+    dest_seed=st.integers(min_value=0, max_value=100_000),
+    n_dests=st.integers(min_value=1, max_value=15),
+)
+def test_chain_for_invariants(src_index, dest_seed, n_dests):
+    source = BASE[src_index]
+    pool = [h for h in BASE if h != source]
+    rng = random.Random(dest_seed)
+    dests = rng.sample(pool, min(n_dests, len(pool)))
+    chain = chain_for(source, dests, BASE)
+
+    # Source first; exact membership; no duplicates.
+    assert chain[0] == source
+    assert sorted(chain[1:]) == sorted(dests)
+    assert len(set(chain)) == len(chain)
+
+    # Rotated order: positions relative to the source strictly increase.
+    def rel(h):
+        return (BASE.index(h) - src_index) % len(BASE)
+
+    rels = [rel(h) for h in chain[1:]]
+    assert rels == sorted(rels)
+    assert all(r > 0 for r in rels)
+
+
+@settings(max_examples=30)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_all_orderings_are_permutations(seed):
+    from repro.mcast import cco_ordering, poc_ordering, random_ordering
+    from repro.network import UpDownRouter, build_irregular_network
+
+    topo = build_irregular_network(
+        n_switches=4, switch_ports=6, hosts_per_switch=2, seed=seed
+    )
+    router = UpDownRouter(topo)
+    for ordering in (
+        cco_ordering(topo, router),
+        poc_ordering(topo, router),
+        random_ordering(topo, seed=seed),
+    ):
+        assert sorted(ordering) == sorted(topo.hosts)
+
+
+def test_time_limit_guard():
+    """The new time_limit parameter catches too-tight limits cleanly."""
+    import pytest
+
+    from repro.core import build_kbinomial_tree
+    from repro.mcast import MulticastSimulator, cco_ordering, chain_for
+    from repro.network import UpDownRouter, build_irregular_network
+
+    topo = build_irregular_network(seed=3)
+    router = UpDownRouter(topo)
+    base = cco_ordering(topo, router)
+    chain = chain_for(base[0], base[1:17], base)
+    tree = build_kbinomial_tree(chain, 2)
+    sim = MulticastSimulator(topo, router)
+    # Generous limit: completes normally.
+    result = sim.run(tree, 4, time_limit=10_000.0)
+    assert result.latency > 0
+    # Absurdly tight limit: clean, informative failure.
+    with pytest.raises(RuntimeError, match="time_limit"):
+        sim.run(tree, 4, time_limit=5.0)

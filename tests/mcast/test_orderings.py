@@ -1,0 +1,127 @@
+"""Ordering constructions: CCO, dimension-ordered chain, chain_for."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mcast import (
+    chain_for,
+    cco_ordering,
+    dimension_ordered_chain,
+    random_ordering,
+)
+from repro.network import EcubeRouter, KAryNCube, UpDownRouter, build_irregular_network, host
+
+
+class TestCCO:
+    def test_is_a_permutation_of_all_hosts(self, paper_topology, paper_router):
+        ordering = cco_ordering(paper_topology, paper_router)
+        assert sorted(ordering) == sorted(paper_topology.hosts)
+
+    def test_same_switch_hosts_adjacent(self, paper_topology, paper_router):
+        ordering = cco_ordering(paper_topology, paper_router)
+        # Hosts of one switch form one contiguous block.
+        switches = [paper_topology.host_switch(h) for h in ordering]
+        seen = set()
+        previous = None
+        for sw in switches:
+            if sw != previous:
+                assert sw not in seen, "switch block split in two"
+                seen.add(sw)
+            previous = sw
+
+    def test_starts_at_router_root(self, paper_topology, paper_router):
+        ordering = cco_ordering(paper_topology, paper_router)
+        assert paper_topology.host_switch(ordering[0]) == paper_router.root
+
+    def test_deterministic(self, paper_topology, paper_router):
+        a = cco_ordering(paper_topology, paper_router)
+        b = cco_ordering(paper_topology, paper_router)
+        assert a == b
+
+    def test_dfs_keeps_subtrees_contiguous(self):
+        topo = build_irregular_network(seed=13)
+        router = UpDownRouter(topo)
+        ordering = cco_ordering(topo, router)
+        # Every switch's subtree (in the BFS tree) occupies a contiguous
+        # block of the ordering — the property CCO relies on.
+        position = {h: i for i, h in enumerate(ordering)}
+        # Rebuild the BFS tree parents the same way cco_ordering does.
+        children: dict = {sw: [] for sw in topo.switches}
+        for sw in topo.switches:
+            if sw == router.root:
+                continue
+            parent = min(
+                (n for n in topo.switch_neighbors(sw) if router.level[n] < router.level[sw]),
+                key=lambda n: (router.level[n], n[1]),
+            )
+            children[parent].append(sw)
+
+        def subtree_hosts(sw):
+            out = list(topo.attached_hosts(sw))
+            for c in children[sw]:
+                out.extend(subtree_hosts(c))
+            return out
+
+        for sw in topo.switches:
+            hosts = subtree_hosts(sw)
+            indices = sorted(position[h] for h in hosts)
+            assert indices == list(range(indices[0], indices[0] + len(indices)))
+
+
+class TestDimensionOrderedChain:
+    def test_is_permutation(self, torus_4x4):
+        chain = dimension_ordered_chain(torus_4x4)
+        assert sorted(chain) == sorted(torus_4x4.hosts)
+
+    def test_lexicographic_order(self, torus_4x4):
+        chain = dimension_ordered_chain(torus_4x4)
+        keys = [tuple(reversed(torus_4x4.coords(h[1]))) for h in chain]
+        assert keys == sorted(keys)
+
+    def test_dimension_zero_varies_fastest(self, torus_4x4):
+        chain = dimension_ordered_chain(torus_4x4)
+        first_four = [torus_4x4.coords(h[1]) for h in chain[:4]]
+        assert first_four == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+
+class TestRandomOrdering:
+    def test_is_permutation(self, paper_topology):
+        ordering = random_ordering(paper_topology, seed=3)
+        assert sorted(ordering) == sorted(paper_topology.hosts)
+
+    def test_seeded_reproducibility(self, paper_topology):
+        assert random_ordering(paper_topology, seed=5) == random_ordering(
+            paper_topology, seed=5
+        )
+        assert random_ordering(paper_topology, seed=5) != random_ordering(
+            paper_topology, seed=6
+        )
+
+
+class TestChainFor:
+    BASE = [host(i) for i in range(8)]
+
+    def test_source_leads(self):
+        chain = chain_for(host(3), [host(1), host(5)], self.BASE)
+        assert chain[0] == host(3)
+
+    def test_destinations_in_rotated_base_order(self):
+        chain = chain_for(host(3), [host(1), host(6), host(5), host(0)], self.BASE)
+        assert chain == [host(3), host(5), host(6), host(0), host(1)]
+
+    def test_wraparound_preserves_adjacency(self):
+        chain = chain_for(host(6), [host(7), host(0), host(1)], self.BASE)
+        assert chain == [host(6), host(7), host(0), host(1)]
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError):
+            chain_for(host(99), [host(1)], self.BASE)
+
+    def test_unknown_destination_rejected(self):
+        with pytest.raises(ValueError):
+            chain_for(host(0), [host(99)], self.BASE)
+
+    def test_source_as_destination_rejected(self):
+        with pytest.raises(ValueError):
+            chain_for(host(0), [host(0)], self.BASE)

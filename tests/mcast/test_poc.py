@@ -1,0 +1,77 @@
+"""POC-style greedy minimal-contention ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.mcast import (
+    chain_contention_score,
+    chain_for,
+    cco_ordering,
+    depth_contention,
+    dimension_ordered_chain,
+    poc_ordering,
+    random_ordering,
+)
+from repro.network import EcubeRouter, UpDownRouter, build_irregular_network
+
+
+class TestPOCOrdering:
+    def test_is_permutation(self, paper_topology, paper_router):
+        ordering = poc_ordering(paper_topology, paper_router)
+        assert sorted(ordering) == sorted(paper_topology.hosts)
+
+    def test_deterministic(self, paper_topology, paper_router):
+        assert poc_ordering(paper_topology, paper_router) == poc_ordering(
+            paper_topology, paper_router
+        )
+
+    def test_starts_on_root_switch(self, paper_topology, paper_router):
+        ordering = poc_ordering(paper_topology, paper_router)
+        assert paper_topology.host_switch(ordering[0]) == paper_router.root
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_beats_random_on_chain_contention(self, seed):
+        topology = build_irregular_network(seed=seed)
+        router = UpDownRouter(topology)
+        poc_score = chain_contention_score(poc_ordering(topology, router), router)
+        rnd_score = chain_contention_score(
+            random_ordering(topology, seed=seed), router
+        )
+        assert poc_score < rnd_score / 4
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_competitive_with_cco(self, seed):
+        topology = build_irregular_network(seed=seed)
+        router = UpDownRouter(topology)
+        poc_score = chain_contention_score(poc_ordering(topology, router), router)
+        cco_score = chain_contention_score(cco_ordering(topology, router), router)
+        assert poc_score <= cco_score
+
+
+class TestChainContentionScore:
+    def test_zero_for_dimension_ordered_chain(self, torus_4x4):
+        router = EcubeRouter(torus_4x4)
+        assert chain_contention_score(dimension_ordered_chain(torus_4x4), router) == 0
+
+    def test_counts_only_disjoint_pairs(self, torus_4x4):
+        # A 2-host chain has a single link: nothing to conflict.
+        router = EcubeRouter(torus_4x4)
+        assert chain_contention_score(torus_4x4.hosts[:2], router) == 0
+
+    def test_nonzero_for_bad_chain(self, paper_topology, paper_router):
+        bad = random_ordering(paper_topology, seed=99)
+        assert chain_contention_score(bad, paper_router) > 0
+
+
+class TestPOCTrees:
+    def test_low_depth_contention_trees(self, paper_topology, paper_router):
+        ordering = poc_ordering(paper_topology, paper_router)
+        chain = chain_for(ordering[0], ordering[1:48], ordering)
+        tree = build_kbinomial_tree(chain, 2)
+        report = depth_contention(tree, paper_router)
+        rnd = random_ordering(paper_topology, seed=1)
+        rnd_chain = chain_for(rnd[0], rnd[1:48], rnd)
+        rnd_report = depth_contention(build_kbinomial_tree(rnd_chain, 2), paper_router)
+        assert report.conflicting_pairs <= rnd_report.conflicting_pairs

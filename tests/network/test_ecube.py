@@ -1,0 +1,110 @@
+"""Dimension-ordered routing with dateline virtual channels."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.network import EcubeRouter, KAryNCube, RoutingError, host
+
+
+@pytest.fixture(scope="module")
+def torus():
+    cube = KAryNCube(4, 2)
+    return cube, EcubeRouter(cube)
+
+
+def test_route_endpoints(torus):
+    cube, r = torus
+    route = r.route(host(0), host(10))
+    assert route[0][0] == host(0)
+    assert route[-1][1] == host(10)
+
+
+def test_route_to_self_rejected(torus):
+    _, r = torus
+    with pytest.raises(RoutingError):
+        r.route(host(3), host(3))
+
+
+def test_dimension_order_respected(torus):
+    cube, r = torus
+    for a, b in itertools.permutations(cube.hosts[:8], 2):
+        route = r.route(a, b)
+        dims = []
+        for (u, v, _vc) in route:
+            if u[0] != "switch" or v[0] != "switch":
+                continue
+            cu, cv = cube.coords(u[1]), cube.coords(v[1])
+            (dim,) = [d for d in range(cube.n) if cu[d] != cv[d]]
+            dims.append(dim)
+        assert dims == sorted(dims)
+
+
+def test_minimal_wrap_direction():
+    cube = KAryNCube(5, 1)
+    r = EcubeRouter(cube)
+    # 0 -> 4 is shorter backwards around the ring: 1 switch hop.
+    route = r.route(host(0), host(4))
+    switch_hops = [c for c in route if c[0][0] == "switch" and c[1][0] == "switch"]
+    assert len(switch_hops) == 1
+
+
+def test_half_ring_tie_goes_positive():
+    cube = KAryNCube(4, 1)
+    r = EcubeRouter(cube)
+    route = r.route(host(0), host(2))  # distance 2 both ways
+    first_hop = [c for c in route if c[0][0] == "switch"][0]
+    assert first_hop[1][1] == 1  # 0 -> 1 -> 2, positive direction
+
+
+def test_dateline_vc_switching():
+    cube = KAryNCube(5, 1)
+    r = EcubeRouter(cube)
+    # 3 -> 0 forward: 3 -> 4 -> 0; the 4 -> 0 hop crosses the dateline.
+    route = r.route(host(3), host(0))
+    vcs = [vc for (u, v, vc) in route if u[0] == "switch" and v[0] == "switch"]
+    assert vcs == [0, 1]
+
+
+def test_no_wrap_means_vc0_everywhere():
+    cube = KAryNCube(4, 2, wrap=False)
+    r = EcubeRouter(cube)
+    for a, b in itertools.permutations(cube.hosts[:6], 2):
+        assert all(vc == 0 for (_, _, vc) in r.route(a, b))
+
+
+def test_mesh_routes_never_wrap():
+    cube = KAryNCube(4, 1, wrap=False)
+    r = EcubeRouter(cube)
+    route = r.route(host(0), host(3))
+    switch_hops = [c for c in route if c[0][0] == "switch" and c[1][0] == "switch"]
+    assert len(switch_hops) == 3  # 0->1->2->3, no shortcut
+
+
+def test_route_cached(torus):
+    _, r = torus
+    assert r.route(host(1), host(2)) is r.route(host(1), host(2))
+
+
+def test_all_pairs_reachable(torus):
+    cube, r = torus
+    for a, b in itertools.permutations(cube.hosts, 2):
+        route = r.route(a, b)
+        # Hop count = 2 host links + Manhattan-on-ring distance.
+        ca, cb = cube.coords(a[1]), cube.coords(b[1])
+        dist = sum(min((cb[d] - ca[d]) % 4, (ca[d] - cb[d]) % 4) for d in range(2))
+        assert len(route) == 2 + dist
+
+
+def test_hop_count_matches_route(torus):
+    _, r = torus
+    assert r.hop_count(host(0), host(5)) == len(r.route(host(0), host(5)))
+
+
+def test_channel_chain_is_connected(torus):
+    _, r = torus
+    route = r.route(host(0), host(15))
+    for (u1, v1, _), (u2, v2, _) in zip(route, route[1:]):
+        assert v1 == u2

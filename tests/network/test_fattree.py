@@ -1,0 +1,140 @@
+"""Fat-tree topology and routing."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.network import FatTree, FatTreeRouter, RoutingError, TopologyError, host
+
+
+@pytest.fixture(scope="module")
+def ft():
+    tree = FatTree(levels=3, arity=4, hosts_per_leaf=4)
+    return tree, FatTreeRouter(tree)
+
+
+class TestConstruction:
+    def test_sizes(self, ft):
+        tree, _ = ft
+        # 1 + 4 + 16 switches, 16 leaves x 4 hosts.
+        assert len(tree.switches) == 21
+        assert len(tree.leaf_switches) == 16
+        assert len(tree.hosts) == 64
+
+    def test_connected(self, ft):
+        tree, _ = ft
+        assert tree.is_connected()
+
+    def test_levels(self, ft):
+        tree, _ = ft
+        assert tree.level_of(tree.root_switch) == 0
+        assert all(tree.level_of(leaf) == 2 for leaf in tree.leaf_switches)
+
+    def test_single_switch_tree(self):
+        tree = FatTree(levels=1, arity=2, hosts_per_leaf=3)
+        assert len(tree.switches) == 1
+        assert len(tree.hosts) == 3
+        assert tree.leaf_switches == (tree.root_switch,)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            FatTree(levels=0)
+        with pytest.raises(TopologyError):
+            FatTree(arity=1)
+        with pytest.raises(TopologyError):
+            FatTree(hosts_per_leaf=0)
+        with pytest.raises(TopologyError):
+            FatTree(trunks=0)
+
+
+class TestRouting:
+    def test_same_leaf_two_hops(self, ft):
+        tree, router = ft
+        h0, h1 = tree.attached_hosts(tree.leaf_switches[0])[:2]
+        assert router.hop_count(h0, h1) == 2
+
+    def test_cross_tree_goes_through_lca(self, ft):
+        tree, router = ft
+        a = tree.attached_hosts(tree.leaf_switches[0])[0]
+        b = tree.attached_hosts(tree.leaf_switches[15])[0]
+        # Up 2, down 2, plus 2 host links.
+        assert router.hop_count(a, b) == 6
+
+    def test_sibling_leaves_meet_at_level1(self, ft):
+        tree, router = ft
+        a = tree.attached_hosts(tree.leaf_switches[0])[0]
+        b = tree.attached_hosts(tree.leaf_switches[1])[0]
+        # Leaves 0 and 1 share a level-1 parent: up 1, down 1, hosts 2.
+        assert router.hop_count(a, b) == 4
+
+    def test_route_chain_connected(self, ft):
+        tree, router = ft
+        for a, b in itertools.islice(itertools.permutations(tree.hosts[::13], 2), 20):
+            route = router.route(a, b)
+            assert route[0][0] == a and route[-1][1] == b
+            for (u1, v1, _), (u2, v2, _) in zip(route, route[1:]):
+                assert v1 == u2
+
+    def test_self_route_rejected(self, ft):
+        _, router = ft
+        with pytest.raises(RoutingError):
+            router.route(host(0), host(0))
+
+    def test_cached(self, ft):
+        tree, router = ft
+        a, b = tree.hosts[0], tree.hosts[40]
+        assert router.route(a, b) is router.route(a, b)
+
+
+class TestTrunks:
+    def test_pairs_spread_across_trunks(self):
+        tree = FatTree(levels=2, arity=4, hosts_per_leaf=4, trunks=4)
+        router = FatTreeRouter(tree)
+        trunks_used = set()
+        for a, b in itertools.permutations(tree.hosts, 2):
+            for (u, v, t) in router.route(a, b):
+                if u[0] == "switch" and v[0] == "switch":
+                    trunks_used.add(t)
+        assert trunks_used == {0, 1, 2, 3}
+
+    def test_pair_uses_single_trunk(self):
+        tree = FatTree(levels=3, arity=2, hosts_per_leaf=2, trunks=3)
+        router = FatTreeRouter(tree)
+        a, b = tree.hosts[0], tree.hosts[-1]
+        trunk_ids = {
+            t for (u, v, t) in router.route(a, b) if u[0] == "switch" and v[0] == "switch"
+        }
+        assert len(trunk_ids) == 1
+
+
+class TestMulticast:
+    def test_machine_fat_tree_multicast(self):
+        from repro import Machine
+
+        machine = Machine.fat_tree(levels=3, arity=4, hosts_per_leaf=4)
+        assert len(machine.hosts) == 64
+        result = machine.multicast(machine.hosts[0], machine.hosts[1:32], nbytes=512)
+        assert result.latency > 0
+
+    def test_trunks_relieve_root_contention(self):
+        from repro import Machine
+
+        slim = Machine.fat_tree(levels=3, arity=4, hosts_per_leaf=4, trunks=1)
+        fat = Machine.fat_tree(levels=3, arity=4, hosts_per_leaf=4, trunks=4)
+        # Broadcast crosses the root heavily; trunking must not hurt
+        # and usually helps.
+        src = slim.hosts[0]
+        slim_lat = slim.broadcast(src, 1024).latency
+        fat_lat = fat.broadcast(src, 1024).latency
+        assert fat_lat <= slim_lat
+
+    def test_kbinomial_beats_binomial_on_fat_tree(self):
+        from repro import Machine
+
+        machine = Machine.fat_tree(levels=3, arity=4, hosts_per_leaf=4, trunks=2)
+        src = machine.hosts[0]
+        kbin = machine.broadcast(src, 2048).latency
+        bino = machine.broadcast(src, 2048, tree="binomial").latency
+        assert kbin < bino

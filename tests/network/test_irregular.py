@@ -1,0 +1,88 @@
+"""Random irregular network generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import TopologyError, build_irregular_network
+
+
+def test_paper_defaults():
+    t = build_irregular_network(seed=0)
+    assert len(t.hosts) == 64
+    assert len(t.switches) == 16
+    assert t.is_connected()
+
+
+def test_port_budget_respected():
+    t = build_irregular_network(seed=3)
+    for sw in t.switches:
+        assert t.degree(sw) <= 8
+
+
+def test_four_hosts_per_switch():
+    t = build_irregular_network(seed=5)
+    for sw in t.switches:
+        assert len(t.attached_hosts(sw)) == 4
+
+
+def test_host_numbering_convention():
+    t = build_irregular_network(seed=1)
+    for i, h in enumerate(sorted(t.hosts, key=lambda x: x[1])):
+        assert h == ("host", i)
+        # host i sits on switch i // 4
+        assert t.host_switch(h)[1] == i // 4
+
+
+def test_deterministic_per_seed():
+    a = build_irregular_network(seed=9)
+    b = build_irregular_network(seed=9)
+    assert set(a.channels()) == set(b.channels())
+
+
+def test_different_seeds_differ():
+    a = build_irregular_network(seed=0)
+    b = build_irregular_network(seed=1)
+    assert set(a.channels()) != set(b.channels())
+
+
+def test_small_configurations():
+    t = build_irregular_network(n_switches=4, switch_ports=6, hosts_per_switch=2, seed=0)
+    assert len(t.hosts) == 8 and len(t.switches) == 4
+    assert t.is_connected()
+
+
+def test_single_switch_network():
+    t = build_irregular_network(n_switches=1, switch_ports=8, hosts_per_switch=8, seed=0)
+    assert len(t.hosts) == 8
+    assert t.is_connected()
+
+
+def test_extra_links_added_beyond_spanning_tree():
+    # With 4 free inter-switch ports per switch, the random matching
+    # should add links beyond the 15 tree links.
+    t = build_irregular_network(seed=2)
+    n_links = sum(len(t.switch_neighbors(s)) for s in t.switches) // 2
+    assert n_links > 15
+
+
+def test_impossible_configuration_rejected():
+    with pytest.raises(TopologyError):
+        build_irregular_network(n_switches=4, switch_ports=4, hosts_per_switch=4, seed=0)
+
+
+def test_too_many_hosts_rejected():
+    with pytest.raises(TopologyError):
+        build_irregular_network(n_switches=2, switch_ports=4, hosts_per_switch=5, seed=0)
+
+
+def test_zero_switch_rejected():
+    with pytest.raises(TopologyError):
+        build_irregular_network(n_switches=0, seed=0)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_many_seeds_connected_and_within_ports(seed):
+    t = build_irregular_network(seed=seed)
+    assert t.is_connected()
+    assert all(t.degree(sw) <= 8 for sw in t.switches)

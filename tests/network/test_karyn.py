@@ -1,0 +1,79 @@
+"""k-ary n-cube construction and coordinate arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import KAryNCube, TopologyError, host, switch
+
+
+def test_size():
+    assert KAryNCube(4, 3).size == 64
+    assert KAryNCube(2, 4).size == 16
+
+
+def test_invalid_parameters():
+    with pytest.raises(TopologyError):
+        KAryNCube(1, 2)
+    with pytest.raises(TopologyError):
+        KAryNCube(4, 0)
+
+
+def test_coords_roundtrip():
+    c = KAryNCube(5, 3)
+    for p in range(c.size):
+        assert c.processor(c.coords(p)) == p
+
+
+def test_coords_dimension_zero_fastest():
+    c = KAryNCube(4, 2)
+    assert c.coords(1) == (1, 0)
+    assert c.coords(4) == (0, 1)
+
+
+def test_coords_out_of_range():
+    c = KAryNCube(3, 2)
+    with pytest.raises(TopologyError):
+        c.coords(9)
+    with pytest.raises(TopologyError):
+        c.processor((3, 0))
+    with pytest.raises(TopologyError):
+        c.processor((0, 0, 0))
+
+
+def test_neighbor_wraps():
+    c = KAryNCube(4, 1)
+    assert c.neighbor(3, 0, +1) == 0
+    assert c.neighbor(0, 0, -1) == 3
+
+
+def test_torus_degree():
+    c = KAryNCube(4, 2)
+    for sw in c.switches:
+        # 2 links per dimension + 1 host.
+        assert c.degree(sw) == 5
+
+
+def test_mesh_has_no_wrap_links():
+    c = KAryNCube(4, 2, wrap=False)
+    assert not c.has_link(switch(0), switch(3))  # row wrap absent
+    assert c.has_link(switch(0), switch(1))
+
+
+def test_k2_has_single_link_per_dimension():
+    # k=2: +1 and -1 reach the same node; only one link must exist.
+    c = KAryNCube(2, 2)
+    for sw in c.switches:
+        assert c.degree(sw) == 3  # 2 dims + host
+
+
+def test_each_processor_owns_one_host():
+    c = KAryNCube(3, 2)
+    assert len(c.hosts) == 9
+    for p in range(9):
+        assert c.host_switch(host(p)) == switch(p)
+
+
+def test_connected():
+    assert KAryNCube(4, 3).is_connected()
+    assert KAryNCube(3, 2, wrap=False).is_connected()

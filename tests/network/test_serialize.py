@@ -1,0 +1,62 @@
+"""Topology serialization round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mcast import cco_ordering
+from repro.network import (
+    TopologyError,
+    UpDownRouter,
+    build_irregular_network,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def test_round_trip_preserves_structure():
+    original = build_irregular_network(seed=5)
+    rebuilt = topology_from_dict(topology_to_dict(original))
+    assert set(rebuilt.hosts) == set(original.hosts)
+    assert set(rebuilt.switches) == set(original.switches)
+    assert set(rebuilt.channels()) == set(original.channels())
+    assert rebuilt.switch_ports == original.switch_ports
+
+
+def test_round_trip_is_json_safe():
+    original = build_irregular_network(seed=3)
+    payload = json.dumps(topology_to_dict(original))
+    rebuilt = topology_from_dict(json.loads(payload))
+    assert set(rebuilt.channels()) == set(original.channels())
+
+
+def test_round_trip_preserves_host_attachment_order():
+    original = build_irregular_network(seed=7)
+    rebuilt = topology_from_dict(topology_to_dict(original))
+    for sw in original.switches:
+        assert rebuilt.attached_hosts(sw) == original.attached_hosts(sw)
+
+
+def test_routing_identical_after_reload():
+    original = build_irregular_network(seed=9)
+    rebuilt = topology_from_dict(topology_to_dict(original))
+    r1 = UpDownRouter(original)
+    r2 = UpDownRouter(rebuilt)
+    hosts = original.hosts
+    for a, b in [(hosts[0], hosts[50]), (hosts[13], hosts[7]), (hosts[63], hosts[1])]:
+        assert r1.route(a, b) == r2.route(a, b)
+
+
+def test_cco_identical_after_reload():
+    original = build_irregular_network(seed=11)
+    rebuilt = topology_from_dict(topology_to_dict(original))
+    assert cco_ordering(original, UpDownRouter(original)) == cco_ordering(
+        rebuilt, UpDownRouter(rebuilt)
+    )
+
+
+def test_unknown_format_rejected():
+    with pytest.raises(TopologyError):
+        topology_from_dict({"format": "something-else"})

@@ -1,0 +1,127 @@
+"""Topology construction and query invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Topology, TopologyError, host, switch
+
+
+@pytest.fixture
+def two_switches():
+    t = Topology(switch_ports=4)
+    t.add_switch(0)
+    t.add_switch(1)
+    t.add_link(switch(0), switch(1))
+    return t
+
+
+def test_node_constructors():
+    assert host(3) == ("host", 3)
+    assert switch(5) == ("switch", 5)
+
+
+def test_add_duplicate_switch_rejected():
+    t = Topology()
+    t.add_switch(0)
+    with pytest.raises(TopologyError):
+        t.add_switch(0)
+
+
+def test_add_host_to_missing_switch_rejected():
+    t = Topology()
+    with pytest.raises(TopologyError):
+        t.add_host(0, switch(0))
+
+
+def test_add_host_to_host_rejected(two_switches):
+    two_switches.add_host(0, switch(0))
+    with pytest.raises(TopologyError):
+        two_switches.add_host(1, host(0))
+
+
+def test_duplicate_host_rejected(two_switches):
+    two_switches.add_host(0, switch(0))
+    with pytest.raises(TopologyError):
+        two_switches.add_host(0, switch(1))
+
+
+def test_self_link_rejected(two_switches):
+    with pytest.raises(TopologyError):
+        two_switches.add_link(switch(0), switch(0))
+
+
+def test_duplicate_link_rejected(two_switches):
+    with pytest.raises(TopologyError):
+        two_switches.add_link(switch(0), switch(1))
+
+
+def test_host_to_host_link_rejected(two_switches):
+    two_switches.add_host(0, switch(0))
+    two_switches.add_host(1, switch(1))
+    with pytest.raises(TopologyError):
+        two_switches.add_link(host(0), host(1))
+
+
+def test_port_limit_enforced():
+    t = Topology(switch_ports=2)
+    t.add_switch(0)
+    t.add_host(0, switch(0))
+    t.add_host(1, switch(0))
+    with pytest.raises(TopologyError):
+        t.add_host(2, switch(0))
+
+
+def test_port_limit_counts_switch_links():
+    t = Topology(switch_ports=1)
+    for j in range(3):
+        t.add_switch(j)
+    t.add_link(switch(0), switch(1))
+    with pytest.raises(TopologyError):
+        t.add_link(switch(0), switch(2))
+
+
+def test_host_switch_lookup(two_switches):
+    two_switches.add_host(7, switch(1))
+    assert two_switches.host_switch(host(7)) == switch(1)
+
+
+def test_host_switch_of_switch_rejected(two_switches):
+    with pytest.raises(TopologyError):
+        two_switches.host_switch(switch(0))
+
+
+def test_neighbors_and_partitions(two_switches):
+    two_switches.add_host(0, switch(0))
+    assert set(two_switches.neighbors(switch(0))) == {switch(1), host(0)}
+    assert two_switches.switch_neighbors(switch(0)) == (switch(1),)
+    assert two_switches.attached_hosts(switch(0)) == (host(0),)
+
+
+def test_degree_and_free_ports(two_switches):
+    assert two_switches.degree(switch(0)) == 1
+    assert two_switches.free_ports(switch(0)) == 3
+
+
+def test_channels_are_directed_pairs(two_switches):
+    chans = set(two_switches.channels())
+    assert (switch(0), switch(1)) in chans
+    assert (switch(1), switch(0)) in chans
+
+
+def test_has_link_symmetric(two_switches):
+    assert two_switches.has_link(switch(0), switch(1))
+    assert two_switches.has_link(switch(1), switch(0))
+
+
+def test_connectivity_detection():
+    t = Topology()
+    t.add_switch(0)
+    t.add_switch(1)
+    assert not t.is_connected()
+    t.add_link(switch(0), switch(1))
+    assert t.is_connected()
+
+
+def test_empty_topology_is_connected():
+    assert Topology().is_connected()

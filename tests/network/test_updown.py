@@ -1,0 +1,147 @@
+"""Up*/down* routing legality, reachability, and determinism."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.network import (
+    RoutingError,
+    Topology,
+    UpDownRouter,
+    build_irregular_network,
+    host,
+    switch,
+)
+
+
+def legal(router, route):
+    """True iff the switch part of the route is up* then down*."""
+    descending = False
+    for (u, v) in route:
+        if u[0] != "switch" or v[0] != "switch":
+            continue
+        up = router.is_up(u, v)
+        if descending and up:
+            return False
+        if not up:
+            descending = True
+    return True
+
+
+@pytest.fixture(scope="module")
+def net():
+    t = build_irregular_network(seed=11)
+    return t, UpDownRouter(t)
+
+
+def test_default_root_is_highest_degree(net):
+    t, r = net
+    best = max(t.switches, key=lambda s: (len(t.switch_neighbors(s)), -s[1]))
+    assert r.root == best
+
+
+def test_levels_start_at_root(net):
+    t, r = net
+    assert r.level[r.root] == 0
+    for sw in t.switches:
+        assert r.level[sw] >= 0
+
+
+def test_adjacent_levels_differ_by_at_most_one(net):
+    t, r = net
+    for sw in t.switches:
+        for nbr in t.switch_neighbors(sw):
+            assert abs(r.level[sw] - r.level[nbr]) <= 1
+
+
+def test_is_up_antisymmetric(net):
+    t, r = net
+    for sw in t.switches:
+        for nbr in t.switch_neighbors(sw):
+            assert r.is_up(sw, nbr) != r.is_up(nbr, sw)
+
+
+def test_all_pairs_routable_and_legal(net):
+    t, r = net
+    for a, b in itertools.permutations(t.hosts[:16], 2):
+        route = r.route(a, b)
+        assert route[0] == (a, t.host_switch(a))
+        assert route[-1] == (t.host_switch(b), b)
+        assert legal(r, route)
+
+
+def test_route_is_connected_chain(net):
+    t, r = net
+    route = r.route(host(0), host(63))
+    for (u1, v1), (u2, v2) in zip(route, route[1:]):
+        assert v1 == u2
+
+
+def test_same_switch_route_is_two_hops(net):
+    t, r = net
+    # hosts 0..3 share switch 0 by the generator's numbering.
+    route = r.route(host(0), host(1))
+    assert len(route) == 2
+
+
+def test_route_to_self_rejected(net):
+    _, r = net
+    with pytest.raises(RoutingError):
+        r.route(host(0), host(0))
+
+
+def test_routes_are_cached_and_deterministic(net):
+    _, r = net
+    r1 = r.route(host(2), host(50))
+    r2 = r.route(host(2), host(50))
+    assert r1 is r2  # cache hit
+    fresh = UpDownRouter(net[0]).route(host(2), host(50))
+    assert fresh == r1  # determinism across router instances
+
+
+def test_hop_count(net):
+    _, r = net
+    assert r.hop_count(host(0), host(1)) == len(r.route(host(0), host(1)))
+
+
+def test_explicit_root_override():
+    t = build_irregular_network(seed=4)
+    r = UpDownRouter(t, root=switch(3))
+    assert r.root == switch(3) and r.level[switch(3)] == 0
+
+
+def test_non_switch_root_rejected():
+    t = build_irregular_network(seed=4)
+    with pytest.raises(RoutingError):
+        UpDownRouter(t, root=host(0))
+
+
+def test_no_switches_rejected():
+    with pytest.raises(RoutingError):
+        UpDownRouter(Topology())
+
+
+def test_disconnected_fabric_rejected():
+    t = Topology()
+    t.add_switch(0)
+    t.add_switch(1)
+    with pytest.raises(RoutingError, match="disconnected"):
+        UpDownRouter(t)
+
+
+def test_route_length_reasonable(net):
+    # No route should visit more switches than exist.
+    t, r = net
+    for a, b in itertools.permutations(t.hosts[:10], 2):
+        assert len(r.route(a, b)) <= len(t.switches) + 2
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_legality_across_topologies(seed):
+    t = build_irregular_network(seed=seed)
+    r = UpDownRouter(t)
+    hosts = t.hosts[::7]
+    for a, b in itertools.permutations(hosts, 2):
+        assert legal(r, r.route(a, b))

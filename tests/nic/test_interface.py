@@ -1,0 +1,117 @@
+"""Direct NetworkInterface / NICRegistry unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import ChannelPool, host
+from repro.nic import FPFSInterface, NICRegistry
+from repro.nic.packets import Message, Packet
+from repro.sim import Environment
+
+from .helpers import FAST, star
+
+
+def make_ni(env=None, host_id=0, **kwargs):
+    topo, router = star(4)
+    env = env or Environment()
+    registry = NICRegistry()
+    pool = ChannelPool(env)
+    ni = FPFSInterface(env, host(host_id), router, registry, pool, FAST, **kwargs)
+    return env, registry, ni
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        env, registry, ni = make_ni()
+        assert registry.lookup(host(0)) is ni
+
+    def test_duplicate_host_rejected(self):
+        topo, router = star(4)
+        env = Environment()
+        registry = NICRegistry()
+        pool = ChannelPool(env)
+        FPFSInterface(env, host(0), router, registry, pool, FAST)
+        with pytest.raises(ValueError, match="already"):
+            FPFSInterface(env, host(0), router, registry, pool, FAST)
+
+    def test_iteration(self):
+        topo, router = star(3)
+        env = Environment()
+        registry = NICRegistry()
+        pool = ChannelPool(env)
+        nis = [
+            FPFSInterface(env, h, router, registry, pool, FAST) for h in topo.hosts
+        ]
+        assert set(registry) == set(nis)
+
+
+class TestValidation:
+    def test_ports_validation(self):
+        with pytest.raises(ValueError, match="ports"):
+            make_ni(ports=0)
+
+    def test_channel_model_validation(self):
+        with pytest.raises(ValueError, match="channel_model"):
+            make_ni(channel_model="bogus")
+
+
+class TestBufferBookkeeping:
+    def test_enqueue_copies_holds_until_last_send(self):
+        env, registry, ni = make_ni()
+        # Peer NIs so the sends have real receivers.
+        topo, router = star(4)
+        msg = Message(source=host(0), destinations=(host(1), host(2)), num_packets=1)
+        packet = Packet(msg, 0)
+        ni._enqueue_copies(packet, (host(1), host(2)))
+        assert ni.forward_buffer.level == 1
+        # Create the receiving NIs, then run: after both copies leave,
+        # the buffer frees.
+        FPFSInterface(env, host(1), ni.router, registry, ni.pool, FAST)
+        FPFSInterface(env, host(2), ni.router, registry, ni.pool, FAST)
+        env.run(until=50)
+        assert ni.forward_buffer.level == 0
+        assert ni.forward_buffer.peak == 1
+
+    def test_enqueue_no_children_is_noop(self):
+        env, registry, ni = make_ni()
+        msg = Message(source=host(1), destinations=(host(0),), num_packets=1)
+        ni._enqueue_copies(Packet(msg, 0), ())
+        assert ni.forward_buffer.level == 0
+
+    def test_message_complete(self):
+        env, registry, ni = make_ni()
+        msg = Message(source=host(1), destinations=(host(0),), num_packets=2)
+        assert not ni.message_complete(msg)
+        ni.received_at[(msg.msg_id, 0)] = 1.0
+        assert not ni.message_complete(msg)
+        ni.received_at[(msg.msg_id, 1)] = 2.0
+        assert ni.message_complete(msg)
+
+
+class TestBaseHooks:
+    def test_on_packet_abstract(self):
+        from repro.nic.interface import NetworkInterface
+
+        topo, router = star(2)
+        env = Environment()
+        ni = NetworkInterface(
+            env, host(0), router, NICRegistry(), ChannelPool(env), FAST
+        )
+        msg = Message(source=host(1), destinations=(host(0),), num_packets=1)
+        with pytest.raises(NotImplementedError):
+            ni.on_packet(Packet(msg, 0))
+
+    def test_inject_abstract(self):
+        from repro.core import build_linear_tree
+        from repro.nic.interface import NetworkInterface
+
+        topo, router = star(2)
+        env = Environment()
+        ni = NetworkInterface(
+            env, host(0), router, NICRegistry(), ChannelPool(env), FAST
+        )
+        tree = build_linear_tree([host(0), host(1)])
+        msg = Message(source=host(0), destinations=(host(1),), num_packets=1)
+        with pytest.raises(NotImplementedError):
+            next(iter(ni.inject_multicast(tree, msg)))

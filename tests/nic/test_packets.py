@@ -1,0 +1,77 @@
+"""Message/Packet construction rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import host
+from repro.nic import Message, Packet, packetize
+
+
+def make_message(m=3, ndest=2):
+    return Message(
+        source=host(0),
+        destinations=tuple(host(i + 1) for i in range(ndest)),
+        num_packets=m,
+    )
+
+
+def test_message_n_counts_source():
+    assert make_message(ndest=5).n == 6
+
+
+def test_message_ids_unique():
+    assert make_message().msg_id != make_message().msg_id
+
+
+def test_message_needs_destinations():
+    with pytest.raises(ValueError):
+        Message(source=host(0), destinations=(), num_packets=1)
+
+
+def test_message_rejects_self_destination():
+    with pytest.raises(ValueError):
+        Message(source=host(0), destinations=(host(0),), num_packets=1)
+
+
+def test_message_rejects_duplicate_destinations():
+    with pytest.raises(ValueError):
+        Message(source=host(0), destinations=(host(1), host(1)), num_packets=1)
+
+
+def test_message_rejects_zero_packets():
+    with pytest.raises(ValueError):
+        Message(source=host(0), destinations=(host(1),), num_packets=0)
+
+
+def test_packetize_produces_indexed_sequence():
+    msg = make_message(m=4)
+    pkts = packetize(msg)
+    assert [p.index for p in pkts] == [0, 1, 2, 3]
+    assert all(p.message is msg for p in pkts)
+
+
+def test_packet_is_last():
+    msg = make_message(m=2)
+    pkts = packetize(msg)
+    assert not pkts[0].is_last and pkts[1].is_last
+
+
+def test_packet_index_bounds():
+    msg = make_message(m=2)
+    with pytest.raises(ValueError):
+        Packet(msg, 2)
+    with pytest.raises(ValueError):
+        Packet(msg, -1)
+
+
+def test_params_packets_for():
+    from repro.params import SystemParams
+
+    p = SystemParams(packet_bytes=64)
+    assert p.packets_for(1) == 1
+    assert p.packets_for(64) == 1
+    assert p.packets_for(65) == 2
+    assert p.packets_for(640) == 10
+    with pytest.raises(ValueError):
+        p.packets_for(0)

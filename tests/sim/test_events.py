@@ -1,0 +1,151 @@
+"""Event lifecycle, succeed/fail, and condition composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, InvalidEventUsage
+
+
+def test_fresh_event_is_pending(env):
+    e = env.event()
+    assert not e.triggered and not e.processed
+
+
+def test_value_before_trigger_raises(env):
+    with pytest.raises(InvalidEventUsage):
+        env.event().value
+
+
+def test_ok_before_trigger_raises(env):
+    with pytest.raises(InvalidEventUsage):
+        env.event().ok
+
+
+def test_succeed_sets_value_and_schedules(env):
+    e = env.event().succeed(41)
+    assert e.triggered and not e.processed
+    env.run()
+    assert e.processed and e.ok and e.value == 41
+
+
+def test_double_succeed_rejected(env):
+    e = env.event().succeed()
+    with pytest.raises(InvalidEventUsage):
+        e.succeed()
+
+
+def test_fail_then_succeed_rejected(env):
+    e = env.event()
+    e.fail(RuntimeError("x"))
+    e.defused()
+    with pytest.raises(InvalidEventUsage):
+        e.succeed()
+
+
+def test_fail_requires_exception_instance(env):
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_value_is_the_exception(env):
+    err = RuntimeError("boom")
+    e = env.event()
+    e.fail(err)
+    e.defused()
+    env.run()
+    assert not e.ok and e.value is err
+
+
+def test_timeout_carries_value(env):
+    t = env.timeout(1, value="tick")
+    env.run()
+    assert t.value == "tick"
+
+
+def test_callbacks_receive_the_event(env):
+    seen = []
+    e = env.timeout(1)
+    e.callbacks.append(seen.append)
+    env.run()
+    assert seen == [e]
+
+
+def test_trigger_copies_state(env):
+    src = env.event().succeed("payload")
+    dst = env.event()
+    src.callbacks.append(dst.trigger)
+    env.run()
+    assert dst.processed and dst.value == "payload"
+
+
+# -- conditions ---------------------------------------------------------------
+
+def test_allof_waits_for_every_event(env):
+    t1, t2 = env.timeout(1, "a"), env.timeout(3, "b")
+    done = env.run(until=AllOf(env, [t1, t2]))
+    assert env.now == 3
+    assert list(done.values()) == ["a", "b"]
+
+
+def test_anyof_fires_on_first(env):
+    t1, t2 = env.timeout(5, "slow"), env.timeout(1, "fast")
+    done = env.run(until=AnyOf(env, [t1, t2]))
+    assert env.now == 1
+    assert done == {t2: "fast"}
+
+
+def test_and_operator_builds_allof(env):
+    t1, t2 = env.timeout(1), env.timeout(2)
+    env.run(until=t1 & t2)
+    assert env.now == 2
+
+
+def test_or_operator_builds_anyof(env):
+    t1, t2 = env.timeout(1), env.timeout(2)
+    env.run(until=t1 | t2)
+    assert env.now == 1
+
+
+def test_empty_allof_fires_immediately(env):
+    cond = AllOf(env, [])
+    assert cond.triggered
+
+
+def test_condition_with_already_processed_event(env):
+    t = env.timeout(1, "early")
+    env.run()
+    done = env.run(until=AllOf(env, [t]))
+    assert done == {t: "early"}
+
+
+def test_nested_condition_values_flatten(env):
+    t1, t2, t3 = env.timeout(1, "a"), env.timeout(2, "b"), env.timeout(3, "c")
+    done = env.run(until=(t1 & t2) & t3)
+    assert list(done.values()) == ["a", "b", "c"]
+
+
+def test_condition_rejects_foreign_events(env):
+    other = Environment()
+    with pytest.raises(ValueError):
+        AllOf(env, [env.timeout(1), other.timeout(1)])
+
+
+def test_condition_propagates_failure(env):
+    class Boom(Exception):
+        pass
+
+    def failer(env):
+        yield env.timeout(1)
+        raise Boom()
+
+    p = env.process(failer(env))
+    cond = AllOf(env, [p, env.timeout(5)])
+    with pytest.raises(Boom):
+        env.run(until=cond)
+
+
+def test_env_helpers_all_of_any_of(env):
+    a, b = env.timeout(1), env.timeout(2)
+    assert type(env.all_of([a, b])).__name__ == "AllOf"
+    assert type(env.any_of([a, b])).__name__ == "AnyOf"

@@ -1,0 +1,99 @@
+"""Trace and LevelMonitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import LevelMonitor, Trace
+
+
+def test_trace_records_time_and_fields(env):
+    tr = Trace(env)
+
+    def proc(env):
+        yield env.timeout(2)
+        tr.log("send", src=1, dst=2)
+
+    env.process(proc(env))
+    env.run()
+    [rec] = tr.records
+    assert rec.time == 2 and rec.category == "send" and rec["src"] == 1
+
+
+def test_trace_disabled_records_nothing(env):
+    tr = Trace(env, enabled=False)
+    tr.log("send", src=1)
+    assert tr.records == []
+
+
+def test_trace_select_filters_by_fields(env):
+    tr = Trace(env)
+    tr.log("send", dst=1)
+    tr.log("send", dst=2)
+    tr.log("recv", dst=1)
+    assert tr.count("send") == 2
+    assert tr.count("send", dst=1) == 1
+    assert tr.count("recv", dst=2) == 0
+
+
+def test_trace_last_time(env):
+    tr = Trace(env)
+
+    def proc(env):
+        tr.log("tick")
+        yield env.timeout(5)
+        tr.log("tick")
+
+    env.process(proc(env))
+    env.run()
+    assert tr.last_time("tick") == 5
+    assert tr.last_time("missing") is None
+
+
+def test_trace_clear(env):
+    tr = Trace(env)
+    tr.log("x")
+    tr.clear()
+    assert tr.records == []
+
+
+def test_level_monitor_peak(env):
+    mon = LevelMonitor(env)
+
+    def proc(env):
+        mon.change(+2)
+        yield env.timeout(1)
+        mon.change(+3)
+        yield env.timeout(1)
+        mon.change(-4)
+
+    env.process(proc(env))
+    env.run()
+    assert mon.peak == 5
+    assert mon.level == 1
+
+
+def test_level_monitor_negative_level_rejected(env):
+    mon = LevelMonitor(env)
+    with pytest.raises(ValueError):
+        mon.change(-1)
+
+
+def test_level_monitor_time_average(env):
+    mon = LevelMonitor(env)
+
+    def proc(env):
+        mon.change(+4)          # level 4 during [0, 2)
+        yield env.timeout(2)
+        mon.change(-2)          # level 2 during [2, 4)
+        yield env.timeout(2)
+        mon.finalize()
+
+    env.process(proc(env))
+    env.run()
+    assert mon.time_average == pytest.approx((4 * 2 + 2 * 2) / 4)
+
+
+def test_level_monitor_zero_duration_average(env):
+    mon = LevelMonitor(env)
+    assert mon.time_average == 0.0

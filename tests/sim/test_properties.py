@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) on the simulation kernel."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=40))
+def test_clock_visits_events_in_sorted_order(delays):
+    env = Environment()
+    seen = []
+    for d in delays:
+        env.timeout(d).callbacks.append(lambda e, d=d: seen.append(env.now))
+    env.run()
+    assert seen == sorted(seen)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=20))
+def test_processes_accumulate_delays_exactly(delays):
+    env = Environment()
+
+    def worker(env):
+        for d in delays:
+            yield env.timeout(d)
+        return env.now
+
+    p = env.process(worker(env))
+    env.run()
+    assert p.value == sum(delays)
+
+
+@settings(max_examples=50)
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    hold_times=st.lists(st.floats(min_value=0.1, max_value=10, allow_nan=False), min_size=1, max_size=25),
+)
+def test_resource_never_exceeds_capacity(capacity, hold_times):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    overage = []
+
+    def worker(env, hold):
+        with res.request() as req:
+            yield req
+            if res.count > capacity:
+                overage.append(res.count)
+            yield env.timeout(hold)
+
+    for hold in hold_times:
+        env.process(worker(env, hold))
+    env.run()
+    assert not overage
+    assert res.count == 0 and res.queue_length == 0
+
+
+@settings(max_examples=50)
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    n_jobs=st.integers(min_value=1, max_value=20),
+)
+def test_unit_hold_resource_finishes_in_ceil_batches(capacity, n_jobs):
+    # n identical unit-time jobs through a c-slot resource take
+    # ceil(n / c) time units.
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+
+    def worker(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    for _ in range(n_jobs):
+        env.process(worker(env))
+    env.run()
+    assert env.now == -(-n_jobs // capacity) * 1.0
+
+
+@settings(max_examples=50)
+@given(items=st.lists(st.integers(), min_size=0, max_size=30))
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield env.timeout(0.5)
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@settings(max_examples=30)
+@given(
+    n_producers=st.integers(min_value=1, max_value=5),
+    items_each=st.integers(min_value=1, max_value=10),
+    capacity=st.integers(min_value=1, max_value=3),
+)
+def test_bounded_store_conserves_items(n_producers, items_each, capacity):
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    total = n_producers * items_each
+    received = []
+
+    def producer(env, pid):
+        for i in range(items_each):
+            yield store.put((pid, i))
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in range(total):
+            received.append((yield store.get()))
+
+    for pid in range(n_producers):
+        env.process(producer(env, pid))
+    env.process(consumer(env))
+    env.run()
+    assert len(received) == total
+    assert len(set(received)) == total  # no duplication, no loss

@@ -1,0 +1,165 @@
+"""Resource and PriorityResource semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import InvalidEventUsage, PriorityResource, Resource
+
+
+def hold(env, res, log, tag, duration):
+    with res.request() as req:
+        yield req
+        log.append((env.now, tag, "acquired"))
+        yield env.timeout(duration)
+    log.append((env.now, tag, "released"))
+
+
+def test_capacity_must_be_positive(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_immediate_grant_when_free(env):
+    res = Resource(env)
+    req = res.request()
+    assert req.triggered
+    assert res.count == 1
+
+
+def test_fifo_service_order(env):
+    res = Resource(env, capacity=1)
+    log = []
+    for tag in "abc":
+        env.process(hold(env, res, log, tag, 2))
+    env.run()
+    acquired = [t for (_, t, what) in log if what == "acquired"]
+    assert acquired == ["a", "b", "c"]
+
+
+def test_capacity_two_allows_two_holders(env):
+    res = Resource(env, capacity=2)
+    log = []
+    for tag in "abc":
+        env.process(hold(env, res, log, tag, 2))
+    env.run()
+    times = {t: at for (at, t, what) in log if what == "acquired"}
+    assert times["a"] == 0 and times["b"] == 0 and times["c"] == 2
+
+
+def test_release_wakes_waiter_at_same_time(env):
+    res = Resource(env, capacity=1)
+    log = []
+    env.process(hold(env, res, log, "first", 5))
+    env.process(hold(env, res, log, "second", 1))
+    env.run()
+    assert (5, "second", "acquired") in log
+
+
+def test_release_unowned_request_rejected(env):
+    res = Resource(env)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(InvalidEventUsage):
+        res.release(req)
+
+
+def test_cancel_waiting_request(env):
+    res = Resource(env, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    assert res.queue_length == 1
+    waiter.cancel()
+    assert res.queue_length == 0
+    res.release(holder)
+    assert res.count == 0
+
+
+def test_cancel_granted_request_rejected(env):
+    res = Resource(env)
+    req = res.request()
+    with pytest.raises(InvalidEventUsage):
+        req.cancel()
+
+
+def test_context_manager_releases_on_exit(env):
+    res = Resource(env)
+
+    def proc(env):
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+        assert res.count == 0
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_context_manager_cancels_unacquired_on_exit(env):
+    res = Resource(env, capacity=1)
+    blocker = res.request()
+    assert blocker.triggered
+
+    class Abort(Exception):
+        pass
+
+    def proc(env):
+        try:
+            with res.request() as req:
+                raise Abort()
+                yield req  # pragma: no cover
+        except Abort:
+            pass
+        yield env.timeout(0)
+
+    env.process(proc(env))
+    env.run()
+    assert res.queue_length == 0
+
+
+def test_queue_length_reporting(env):
+    res = Resource(env, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.count == 1 and res.queue_length == 2
+
+
+# -- priority -----------------------------------------------------------------
+
+def hold_prio(env, res, log, tag, priority, duration):
+    req = res.request(priority=priority)
+    yield req
+    log.append(tag)
+    yield env.timeout(duration)
+    res.release(req)
+
+
+def test_priority_orders_waiters(env):
+    res = PriorityResource(env, capacity=1)
+    log = []
+    env.process(hold_prio(env, res, log, "holder", 0, 5))
+
+    def late(env):
+        yield env.timeout(1)
+        env.process(hold_prio(env, res, log, "low", 5, 1))
+        env.process(hold_prio(env, res, log, "high", 1, 1))
+
+    env.process(late(env))
+    env.run()
+    assert log == ["holder", "high", "low"]
+
+
+def test_priority_ties_are_fifo(env):
+    res = PriorityResource(env, capacity=1)
+    log = []
+    env.process(hold_prio(env, res, log, "holder", 0, 5))
+
+    def late(env):
+        yield env.timeout(1)
+        for tag in ("first", "second", "third"):
+            env.process(hold_prio(env, res, log, tag, 3, 1))
+
+    env.process(late(env))
+    env.run()
+    assert log == ["holder", "first", "second", "third"]

@@ -1,0 +1,91 @@
+"""CLI subcommands (fast paths only; sim figures use tiny protocols)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_fig12a(capsys):
+    out = run_cli(capsys, "fig12a", "--max-m", "5")
+    assert "Fig. 12(a)" in out and "63 dest" in out
+
+
+def test_fig12b(capsys):
+    out = run_cli(capsys, "fig12b")
+    assert "Fig. 12(b)" in out and "8 pkt" in out
+
+
+def test_optimal_k(capsys):
+    out = run_cli(capsys, "optimal-k", "-n", "64", "-m", "8")
+    assert "optimal k for n=64, m=8: 2" in out
+
+
+def test_tree_rendering(capsys):
+    out = run_cli(capsys, "tree", "-n", "8", "-k", "2")
+    assert "2-binomial tree" in out
+    assert "└─" in out
+
+
+def test_tree_defaults_to_optimal_k(capsys):
+    out = run_cli(capsys, "tree", "-n", "16", "-m", "8")
+    assert "2-binomial tree" in out  # optimal_k(16, 8) == 2
+
+
+def test_simulate(capsys):
+    out = run_cli(capsys, "simulate", "--dests", "7", "--bytes", "128")
+    assert "latency" in out and "fpfs" in out
+
+
+def test_simulate_integer_tree_spec(capsys):
+    out = run_cli(capsys, "simulate", "--dests", "7", "--bytes", "128", "--tree", "2")
+    assert "latency" in out
+
+
+def test_simulate_alternative_ni_and_ordering(capsys):
+    out = run_cli(capsys, "simulate", "--dests", "7", "--bytes", "64", "--ni", "fcfs", "--ordering", "poc")
+    assert "fcfs" in out
+
+
+def test_fig13a_tiny(capsys):
+    out = run_cli(capsys, "fig13a", "--topologies", "1", "--dest-sets", "1")
+    assert "Fig. 13(a)" in out
+
+
+def test_fig13b_tiny(capsys):
+    out = run_cli(capsys, "fig13b", "--topologies", "1", "--dest-sets", "1")
+    assert "Fig. 13(b)" in out
+
+
+def test_fig14a_tiny(capsys):
+    out = run_cli(capsys, "fig14a", "--topologies", "1", "--dest-sets", "1")
+    assert "Fig. 14(a)" in out and "ratio" in out
+
+
+def test_fig14b_tiny(capsys):
+    out = run_cli(capsys, "fig14b", "--topologies", "1", "--dest-sets", "1")
+    assert "Fig. 14(b)" in out and "ratio" in out
+
+
+def test_reliable(capsys):
+    out = run_cli(capsys, "reliable", "--loss", "0.05", "--dests", "7", "--bytes", "256")
+    assert "reliable FPFS multicast" in out
+    assert "latency" in out
+
+
+def test_decoster(capsys):
+    out = run_cli(capsys, "decoster", "--bytes", "512")
+    assert "De Coster" in out
+    assert "tuned" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])

@@ -1,0 +1,42 @@
+"""Golden regression pins: exact values frozen from the validated build.
+
+Unlike the shape assertions elsewhere, these pin *specific floats*.
+Deliberate model changes will trip them — that is the point: any edit
+that silently moves the numbers the reproduction was validated on must
+be noticed and the EXPERIMENTS.md record re-baselined.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine
+from repro.analysis import ExperimentConfig
+from repro.analysis.experiments import binomial, kbinomial_optimal, sweep_latency
+
+CFG = ExperimentConfig(n_topologies=1, n_dest_sets=2, seed=1234)
+
+
+def test_golden_sweep_kbinomial():
+    assert sweep_latency(31, 8, kbinomial_optimal, CFG) == pytest.approx(122.2)
+
+
+def test_golden_sweep_binomial():
+    assert sweep_latency(31, 8, binomial, CFG) == pytest.approx(201.3)
+
+
+def test_golden_machine_multicast():
+    machine = Machine.irregular(seed=0)
+    result = machine.multicast(machine.hosts[0], machine.hosts[1:16], 512)
+    assert result.latency == pytest.approx(111.6)
+    assert result.packet_completion[0] == pytest.approx(42.1)
+    assert result.packet_completion[1] == pytest.approx(49.9)
+
+
+def test_golden_analytics():
+    # These are exact integers; no approx needed.
+    from repro.core import coverage, fpfs_total_steps, build_kbinomial_tree, optimal_k
+
+    assert coverage(8, 2) == 88
+    assert optimal_k(64, 8) == 2
+    assert fpfs_total_steps(build_kbinomial_tree(list(range(64)), 2), 8) == 22

@@ -1,0 +1,104 @@
+"""The Machine facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine.irregular(seed=0)
+
+
+class TestConstruction:
+    def test_irregular_defaults(self, machine):
+        assert len(machine.hosts) == 64
+        assert machine.ni == "fpfs"
+
+    def test_torus(self):
+        t = Machine.torus(4, 3)
+        assert len(t.hosts) == 64
+
+    def test_mesh(self):
+        t = Machine.torus(4, 2, wrap=False)
+        assert len(t.hosts) == 16
+
+    def test_orderings(self):
+        for ordering in ("cco", "poc", "random"):
+            m = Machine.irregular(n_switches=4, switch_ports=6, hosts_per_switch=2, seed=1, ordering=ordering)
+            assert len(m.hosts) == 8
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            Machine.irregular(seed=0, ordering="bogus")
+
+    def test_unknown_ni_rejected(self):
+        with pytest.raises(ValueError):
+            Machine.irregular(seed=0, ni="bogus")
+
+
+class TestTreeFor:
+    def test_named_strategies(self, machine):
+        src, dests = machine.hosts[0], machine.hosts[1:9]
+        for spec, check in [
+            ("optimal", lambda t: t.max_fanout <= 6),
+            ("binomial", lambda t: t.root_fanout == 4),  # ceil(log2 9)
+            ("linear", lambda t: t.max_fanout == 1),
+            ("flat", lambda t: t.root_fanout == 8),
+        ]:
+            tree = machine.tree_for(src, dests, 4, spec)
+            assert len(tree) == 9
+            assert check(tree), spec
+
+    def test_integer_spec_is_fanout_cap(self, machine):
+        tree = machine.tree_for(machine.hosts[0], machine.hosts[1:16], 4, 2)
+        assert tree.max_fanout <= 2
+
+    def test_unknown_spec_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.tree_for(machine.hosts[0], machine.hosts[1:4], 2, "bogus")
+
+
+class TestCollectives:
+    def test_multicast_bytes_to_packets(self, machine):
+        result = machine.multicast(machine.hosts[0], machine.hosts[1:8], nbytes=200)
+        assert result.message.num_packets == 4  # ceil(200/64)
+
+    def test_broadcast_hits_everyone(self, machine):
+        result = machine.broadcast(machine.hosts[0], nbytes=64)
+        assert len(result.destination_completion) == 63
+
+    def test_optimal_tree_not_worse_than_binomial(self, machine):
+        src, dests = machine.hosts[0], machine.hosts[1:32]
+        opt = machine.multicast(src, dests, 2048).latency
+        bino = machine.multicast(src, dests, 2048, tree="binomial").latency
+        assert opt <= bino
+
+    def test_scatter_and_gather(self, machine):
+        src = machine.hosts[0]
+        s = machine.scatter(src, machine.hosts[1:9], nbytes_each=128)
+        assert len(s.parts) == 8
+        g = machine.gather(src, machine.hosts[1:9], nbytes_each=128)
+        assert len(g.parts) == 8
+
+    def test_multicast_groups(self, machine):
+        groups = [
+            (machine.hosts[0], machine.hosts[1:9]),
+            (machine.hosts[16], machine.hosts[17:25]),
+        ]
+        result = machine.multicast_groups(groups, nbytes=256)
+        assert len(result.parts) == 2
+        assert result.makespan >= max(p.latency for p in result.parts) - 1e-9
+
+
+class TestNIDisciplines:
+    def test_conventional_slower_than_fpfs(self):
+        fast = Machine.irregular(seed=2, ni="fpfs")
+        slow = Machine.irregular(seed=2, ni="conventional")
+        src, dests = fast.hosts[0], fast.hosts[1:16]
+        assert (
+            slow.multicast(src, dests, 512).latency
+            > fast.multicast(src, dests, 512).latency
+        )

@@ -1,0 +1,187 @@
+"""Integration tests pinning every quantitative claim in the paper.
+
+Each test cites the section/figure it validates.  These are the
+regression net for the reproduction: if any of them fails, the repo no
+longer reproduces the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import ExperimentConfig, sweep_latency
+from repro.analysis.experiments import binomial, kbinomial_optimal
+from repro.core import (
+    build_binomial_tree,
+    build_kbinomial_tree,
+    build_linear_tree,
+    compare_buffers,
+    conventional_latency_model,
+    coverage,
+    fpfs_total_steps,
+    multicast_latency_model,
+    optimal_k,
+    packet_completion_steps,
+    steps_needed,
+)
+from repro.params import PAPER_PARAMS
+
+CFG = ExperimentConfig(n_topologies=2, n_dest_sets=4, seed=2024)
+
+
+class TestSection25:
+    """Smart vs conventional NI latency formulas (Fig. 4)."""
+
+    def test_binomial_3dest_example(self):
+        # Conventional: 2 (t_step + t_s + t_r); smart: t_s + 2 t_step + t_r.
+        p = PAPER_PARAMS
+        conventional = conventional_latency_model(4, 1, p)
+        smart = multicast_latency_model(2, p)
+        assert conventional == pytest.approx(2 * (p.t_step + p.t_s + p.t_r))
+        assert smart == pytest.approx(p.t_s + 2 * p.t_step + p.t_r)
+        assert smart < conventional
+
+    @pytest.mark.parametrize("n", [2, 8, 16, 64])
+    def test_smart_always_wins_for_single_packet(self, n):
+        p = PAPER_PARAMS
+        hops = math.ceil(math.log2(n))
+        smart = multicast_latency_model(hops, p)
+        conventional = conventional_latency_model(n, 1, p)
+        if n == 2:
+            # One hop, no forwarding: both pay t_s + t_step + t_r.
+            assert smart == pytest.approx(conventional)
+        else:
+            assert smart < conventional
+
+
+class TestSection26:
+    """Binomial tree is NOT optimal under packetization (Fig. 5)."""
+
+    def test_fig5_binomial_6_linear_5(self):
+        chain = list(range(4))
+        assert fpfs_total_steps(build_binomial_tree(chain), 3) == 6
+        assert fpfs_total_steps(build_linear_tree(chain), 3) == 5
+
+    def test_fig5_latencies(self):
+        p = PAPER_PARAMS
+        lat_bin = multicast_latency_model(6, p)
+        lat_lin = multicast_latency_model(5, p)
+        assert lat_lin < lat_bin
+
+
+class TestSection332:
+    """FPFS buffer residency <= FCFS, always (best-case analysis)."""
+
+    def test_tp_less_equal_tc_everywhere(self):
+        for c in range(1, 9):
+            for p in range(1, 33):
+                cmp = compare_buffers(c, p)
+                assert cmp.fpfs <= cmp.fcfs
+
+    def test_fcfs_residency_formula_example(self):
+        # c=3 children, p=4 packets: ((4-i+1) + 1*4 + i) = 9 for any i.
+        from repro.core import fcfs_buffer_time
+
+        assert fcfs_buffer_time(3, 4) == 9.0
+
+
+class TestSection41:
+    """Pipelined model (Fig. 8, Theorems 1-2)."""
+
+    def test_fig8_seven_dest_binomial(self):
+        tree = build_binomial_tree(list(range(8)))
+        assert packet_completion_steps(tree, 3) == [3, 6, 9]
+
+    def test_theorem1_interval_equals_root_fanout(self):
+        for k in (2, 3):
+            n = coverage(k + 2, k)
+            tree = build_kbinomial_tree(list(range(n)), k)
+            completions = packet_completion_steps(tree, 6)
+            gaps = {b - a for a, b in zip(completions, completions[1:])}
+            assert gaps == {k}
+
+    def test_theorem2_closed_form(self):
+        k, s, m = 3, 5, 7
+        n = coverage(s, k)
+        tree = build_kbinomial_tree(list(range(n)), k)
+        assert fpfs_total_steps(tree, m) == s + (m - 1) * k
+
+
+class TestSection42:
+    """Theorem 3: the k-binomial tree is optimal."""
+
+    def test_lemma1_table_values(self):
+        assert [coverage(s, 2) for s in range(9)] == [1, 2, 4, 7, 12, 20, 33, 54, 88]
+
+    def test_optimal_tree_beats_both_extremes(self):
+        for n, m in [(16, 4), (32, 8), (64, 16)]:
+            chain = list(range(n))
+            opt = fpfs_total_steps(build_kbinomial_tree(chain, optimal_k(n, m)), m)
+            assert opt <= fpfs_total_steps(build_binomial_tree(chain), m)
+            assert opt <= fpfs_total_steps(build_linear_tree(chain), m)
+
+
+class TestSection51:
+    """Optimal-k behaviour (Fig. 12)."""
+
+    def test_m1_optimal_is_ceil_log2(self):
+        for dests in (15, 31, 47, 63):
+            assert optimal_k(dests + 1, 1) == math.ceil(math.log2(dests + 1))
+
+    def test_k_converges_downward_with_m(self):
+        ks = [optimal_k(64, m) for m in range(1, 36)]
+        assert ks[0] == 6
+        assert ks[-1] <= 2
+        assert all(a >= b for a, b in zip(ks, ks[1:]))
+
+    def test_small_set_crosses_to_linear_before_large_set(self):
+        # Fig. 12(a): 15 dests reaches k=1 within m<=35; 63 dests does not.
+        ks15 = [optimal_k(16, m) for m in range(1, 36)]
+        ks63 = [optimal_k(64, m) for m in range(1, 36)]
+        assert 1 in ks15
+        assert 1 not in ks63
+
+    def test_fig12b_plateau_at_2_for_4_and_8_packets(self):
+        # "for multicast messages of length 4 or 8 packets, the optimal
+        # value of k is 2 as the multicast set size is increased"
+        for m in (4, 8):
+            assert optimal_k(64, m) == 2
+            assert optimal_k(48, m) == 2
+
+
+class TestSection52:
+    """Simulation results (Figs. 13-14) — reduced-protocol shape checks."""
+
+    def test_kbinomial_beats_binomial_for_long_messages(self):
+        m = 16
+        kbin = sweep_latency(47, m, kbinomial_optimal, CFG)
+        bino = sweep_latency(47, m, binomial, CFG)
+        assert bino / kbin > 1.4  # paper: up to factor of 2
+
+    def test_improvement_grows_with_packet_count(self):
+        ratios = []
+        for m in (2, 8, 32):
+            kbin = sweep_latency(47, m, kbinomial_optimal, CFG)
+            bino = sweep_latency(47, m, binomial, CFG)
+            ratios.append(bino / kbin)
+        assert ratios == sorted(ratios)
+
+    def test_factor_of_two_reached_at_32_packets(self):
+        m = 32
+        kbin = sweep_latency(63, m, kbinomial_optimal, CFG)
+        bino = sweep_latency(63, m, binomial, CFG)
+        assert bino / kbin > 1.8
+
+    def test_single_packet_trees_equivalent(self):
+        # m=1: optimal k = ceil(log2 n); both trees take the same steps.
+        kbin = sweep_latency(31, 1, kbinomial_optimal, CFG)
+        bino = sweep_latency(31, 1, binomial, CFG)
+        assert kbin == pytest.approx(bino, rel=0.1)
+
+    def test_latency_magnitude_matches_paper_ballpark(self):
+        # Fig. 13(b): 8 packets, 63 dests lands near ~190 µs in the
+        # paper; our substrate should be within a factor of ~1.6.
+        lat = sweep_latency(63, 8, kbinomial_optimal, CFG)
+        assert 100 <= lat <= 320

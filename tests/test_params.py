@@ -1,0 +1,58 @@
+"""SystemParams defaults and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import PAPER_PARAMS, SystemParams
+
+
+def test_paper_defaults_match_section_5_2():
+    assert PAPER_PARAMS.t_s == 12.5
+    assert PAPER_PARAMS.t_r == 12.5
+    assert PAPER_PARAMS.t_ns == 3.0
+    assert PAPER_PARAMS.t_nr == 2.0
+    assert PAPER_PARAMS.packet_bytes == 64
+
+
+def test_wire_time():
+    p = SystemParams(packet_bytes=64, link_bandwidth=160.0)
+    assert p.wire_time == pytest.approx(0.4)
+
+
+def test_t_step_composition():
+    p = SystemParams()
+    assert p.t_step == pytest.approx(p.t_ns + p.t_switch + p.wire_time + p.t_nr)
+
+
+def test_t_step_magnitude_near_paper_model():
+    # t_ns + t_nr = 5 µs dominate; t_step should land in [5, 6.5].
+    assert 5.0 <= PAPER_PARAMS.t_step <= 6.5
+
+
+def test_negative_times_rejected():
+    with pytest.raises(ValueError):
+        SystemParams(t_s=-1)
+    with pytest.raises(ValueError):
+        SystemParams(t_nr=-0.1)
+
+
+def test_bad_packet_size_rejected():
+    with pytest.raises(ValueError):
+        SystemParams(packet_bytes=0)
+
+
+def test_bad_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        SystemParams(link_bandwidth=0)
+
+
+def test_with_override():
+    p = PAPER_PARAMS.with_(t_ns=5.0)
+    assert p.t_ns == 5.0 and p.t_nr == PAPER_PARAMS.t_nr
+    assert PAPER_PARAMS.t_ns == 3.0  # original untouched
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        PAPER_PARAMS.t_s = 1.0
