@@ -8,7 +8,7 @@ optimal k settles at its plateau (the pipeline interval stops growing).
 
 from __future__ import annotations
 
-from repro.analysis import ExperimentConfig, fig13a_latency_vs_m, render_series
+from repro.analysis import ExperimentConfig, fig13a_latency_vs_m, render_series, workers_from_env
 
 DEST_COUNTS = (63, 47, 31, 15)
 M_VALUES = (1, 2, 4, 8, 16, 32)
@@ -16,8 +16,11 @@ M_VALUES = (1, 2, 4, 8, 16, 32)
 
 def test_fig13a_latency_vs_m(benchmark, show):
     config = ExperimentConfig.bench()
+    workers = workers_from_env()  # REPRO_WORKERS=N parallelizes the grid
     data = benchmark.pedantic(
-        lambda: fig13a_latency_vs_m(config, DEST_COUNTS, M_VALUES), rounds=1, iterations=1
+        lambda: fig13a_latency_vs_m(config, DEST_COUNTS, M_VALUES, workers=workers),
+        rounds=1,
+        iterations=1,
     )
     show(
         render_series(

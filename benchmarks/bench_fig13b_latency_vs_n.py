@@ -7,7 +7,7 @@ depth — not the set size — drives latency once k is fixed).
 
 from __future__ import annotations
 
-from repro.analysis import ExperimentConfig, fig13b_latency_vs_n, render_series
+from repro.analysis import ExperimentConfig, fig13b_latency_vs_n, render_series, workers_from_env
 
 M_VALUES = (8, 4, 2, 1)
 DEST_COUNTS = (7, 15, 31, 47, 63)
@@ -15,8 +15,11 @@ DEST_COUNTS = (7, 15, 31, 47, 63)
 
 def test_fig13b_latency_vs_n(benchmark, show):
     config = ExperimentConfig.bench()
+    workers = workers_from_env()  # REPRO_WORKERS=N parallelizes the grid
     data = benchmark.pedantic(
-        lambda: fig13b_latency_vs_n(config, M_VALUES, DEST_COUNTS), rounds=1, iterations=1
+        lambda: fig13b_latency_vs_n(config, M_VALUES, DEST_COUNTS, workers=workers),
+        rounds=1,
+        iterations=1,
     )
     show(
         render_series(

@@ -17,7 +17,7 @@ from .breakdown import LatencyBreakdown, run_breakdown
 from .export import series_to_csv, write_csv
 from .plot import ascii_plot
 from .stats import Summary, summarize
-from .sweep import SweepPoint, sweep, sweep_table
+from .sweep import SweepPoint, SweepStore, run_sweep, sweep, sweep_table, workers_from_env
 from .tables import render_comparison, render_series, render_table
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "LatencyBreakdown",
     "Summary",
     "SweepPoint",
+    "SweepStore",
     "ascii_plot",
     "fig12a_optimal_k",
     "fig12b_optimal_k",
@@ -37,6 +38,7 @@ __all__ = [
     "render_series",
     "render_table",
     "run_breakdown",
+    "run_sweep",
     "series_to_csv",
     "summarize",
     "sweep",
@@ -44,5 +46,6 @@ __all__ = [
     "sweep_latency",
     "sweep_latency_summary",
     "sweep_table",
+    "workers_from_env",
     "write_csv",
 ]

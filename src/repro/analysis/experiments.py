@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass, field
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..core.kbinomial import build_kbinomial_tree
@@ -31,7 +31,9 @@ from ..params import PAPER_PARAMS, SystemParams
 
 __all__ = [
     "ExperimentConfig",
+    "TREE_KINDS",
     "TreeKind",
+    "latency_point",
     "sweep_latencies",
     "sweep_latency",
     "sweep_latency_summary",
@@ -61,6 +63,15 @@ def binomial(chain: Sequence[Node], m: int) -> MulticastTree:
 def linear(chain: Sequence[Node], m: int) -> MulticastTree:
     """The chain baseline."""
     return build_linear_tree(chain)
+
+
+#: Name -> tree selector, so parallel sweep tasks can carry a tree kind
+#: as a picklable string instead of a function object.
+TREE_KINDS: Dict[str, TreeKind] = {
+    "kbinomial": kbinomial_optimal,
+    "binomial": binomial,
+    "linear": linear,
+}
 
 
 def full_protocol_requested() -> bool:
@@ -207,62 +218,88 @@ def fig12b_optimal_k(
 
 
 # ---------------------------------------------------------------------------
-# Fig. 13 — simulated latency of the optimal k-binomial tree
+# Fig. 13 / Fig. 14 — simulated latency grids, on the sweep engine
 # ---------------------------------------------------------------------------
+
+def latency_point(d: int, m: int, tree: str, config: ExperimentConfig) -> float:
+    """Picklable per-grid-point measure for the simulated figure sweeps.
+
+    ``tree`` names an entry of :data:`TREE_KINDS`; everything else a
+    worker process needs (topologies, routers, orderings) is rebuilt
+    there once and memoized by :func:`_testbed`.
+    """
+    return sweep_latency(d, m, TREE_KINDS[tree], config)
+
+
+def _latency_grid(
+    config: ExperimentConfig,
+    dest_counts: Sequence[int],
+    m_values: Sequence[int],
+    trees: Sequence[str],
+    workers: int,
+) -> Dict[Tuple[int, int, str], float]:
+    """All (d, m, tree) mean latencies, fanned out over ``workers``."""
+    from .sweep import run_sweep
+
+    points = run_sweep(
+        partial(latency_point, config=config),
+        {"d": list(dest_counts), "m": list(m_values), "tree": list(trees)},
+        workers=workers,
+    )
+    return {(p["d"], p["m"], p["tree"]): p.value for p in points}
+
 
 def fig13a_latency_vs_m(
     config: ExperimentConfig,
     dest_counts: Sequence[int] = (63, 47, 31, 15),
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
+    workers: int = 1,
 ) -> Dict[int, List[float]]:
     """Fig. 13(a): k-binomial latency vs m, one curve per dest count."""
-    return {
-        d: [sweep_latency(d, m, kbinomial_optimal, config) for m in m_values]
-        for d in dest_counts
-    }
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers)
+    return {d: [grid[(d, m, "kbinomial")] for m in m_values] for d in dest_counts}
 
 
 def fig13b_latency_vs_n(
     config: ExperimentConfig,
     m_values: Sequence[int] = (8, 4, 2, 1),
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
+    workers: int = 1,
 ) -> Dict[int, List[float]]:
     """Fig. 13(b): k-binomial latency vs multicast set size, per m."""
-    return {
-        m: [sweep_latency(d, m, kbinomial_optimal, config) for d in dest_counts]
-        for m in m_values
-    }
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers)
+    return {m: [grid[(d, m, "kbinomial")] for d in dest_counts] for m in m_values}
 
-
-# ---------------------------------------------------------------------------
-# Fig. 14 — k-binomial vs binomial
-# ---------------------------------------------------------------------------
 
 def fig14a_comparison_vs_m(
     config: ExperimentConfig,
     dest_counts: Sequence[int] = (47, 15),
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
+    workers: int = 1,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(a): binomial vs optimal k-binomial latency vs m."""
-    out: Dict[int, Dict[str, List[float]]] = {}
-    for d in dest_counts:
-        out[d] = {
-            "binomial": [sweep_latency(d, m, binomial, config) for m in m_values],
-            "kbinomial": [sweep_latency(d, m, kbinomial_optimal, config) for m in m_values],
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers)
+    return {
+        d: {
+            tree: [grid[(d, m, tree)] for m in m_values]
+            for tree in ("binomial", "kbinomial")
         }
-    return out
+        for d in dest_counts
+    }
 
 
 def fig14b_comparison_vs_n(
     config: ExperimentConfig,
     m_values: Sequence[int] = (8, 2),
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
+    workers: int = 1,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(b): binomial vs optimal k-binomial latency vs set size."""
-    out: Dict[int, Dict[str, List[float]]] = {}
-    for m in m_values:
-        out[m] = {
-            "binomial": [sweep_latency(d, m, binomial, config) for d in dest_counts],
-            "kbinomial": [sweep_latency(d, m, kbinomial_optimal, config) for d in dest_counts],
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers)
+    return {
+        m: {
+            tree: [grid[(d, m, tree)] for d in dest_counts]
+            for tree in ("binomial", "kbinomial")
         }
-    return out
+        for m in m_values
+    }

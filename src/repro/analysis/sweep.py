@@ -1,21 +1,49 @@
-"""Generic parameter sweeps with deterministic seeding.
+"""Parameter sweeps: serial, parallel, and cached.
 
 :func:`sweep` runs a measurement function over the cross product of
 named parameter grids, yielding flat result records that render
 directly through :func:`repro.analysis.tables.render_table` or load
-into numpy for analysis.  All experiment drivers could be phrased this
-way; the figure drivers keep their explicit shapes for readability, and
-this utility serves ad-hoc exploration (see
-``examples/parameter_study.py``).
+into numpy for analysis.
+
+:func:`run_sweep` is the full engine behind it: the same grid
+semantics, plus
+
+* **parallel execution** — ``workers=N`` fans grid points out over a
+  ``concurrent.futures.ProcessPoolExecutor`` in ``chunk_size`` batches
+  of picklable ``(index, params)`` task records and merges the results
+  back **in grid order**, so a parallel sweep is byte-identical to a
+  serial one (a regression test pins this);
+* **serial fallback** — ``workers=1``, or a ``measure`` that cannot be
+  pickled (lambdas, closures), runs in-process with no executor;
+* **result store** — ``store=`` a path or :class:`SweepStore` consults
+  an on-disk JSON record of previously computed points and only
+  measures the missing ones, so re-running a benchmark driver is
+  incremental.
+
+Worker processes keep their :mod:`repro.core.cache` memo tables across
+the points of a sweep (the executor reuses processes), which is where
+the warm-cache speedups of ``benchmarks/bench_sweep_engine.py`` come
+from.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["SweepPoint", "sweep", "sweep_table"]
+__all__ = [
+    "SweepPoint",
+    "SweepStore",
+    "run_sweep",
+    "sweep",
+    "sweep_table",
+    "workers_from_env",
+]
 
 
 @dataclass(frozen=True)
@@ -29,26 +57,207 @@ class SweepPoint:
         return self.params[key]
 
 
-def sweep(
+class SweepStore:
+    """On-disk JSON store of measured sweep points.
+
+    Keys are a canonical JSON serialization of each point's parameter
+    dict, so any sweep whose grids overlap a stored one reuses the
+    shared points regardless of grid shape or order.  Values must be
+    JSON-serializable (numbers, strings, lists, dicts) — the store is
+    for resumable benchmark grids, not arbitrary objects.
+
+    The file is rewritten atomically on :meth:`flush`; delete it to
+    invalidate (stored values are pure functions of their params, so
+    the only reason is a changed measure function).
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        #: Points served from disk / measured this run.
+        self.hits = 0
+        self.misses = 0
+        self._records: Dict[str, object] = {}
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as fh:
+                try:
+                    payload = json.load(fh)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"sweep store {self.path!r} is not valid JSON ({exc}); "
+                        "delete the file to start a fresh store"
+                    ) from exc
+            self._records = payload.get("records", {})
+
+    @staticmethod
+    def key_for(params: Mapping[str, object]) -> str:
+        """Canonical, order-independent key for one point's params."""
+        return json.dumps(params, sort_keys=True, default=repr)
+
+    def get(self, params: Mapping[str, object]) -> Tuple[bool, object]:
+        """(found, value) for ``params``; counts a hit or a miss."""
+        key = self.key_for(params)
+        if key in self._records:
+            self.hits += 1
+            return True, self._records[key]
+        self.misses += 1
+        return False, None
+
+    def put(self, params: Mapping[str, object], value: object) -> None:
+        try:
+            json.dumps(value)
+        except TypeError as exc:
+            raise TypeError(
+                f"SweepStore values must be JSON-serializable; point {params!r} "
+                f"produced {type(value).__name__}"
+            ) from exc
+        self._records[self.key_for(params)] = value
+
+    def flush(self) -> None:
+        """Atomically persist all records to :attr:`path`."""
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump({"version": 1, "records": self._records}, fh)
+        os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+def workers_from_env(default: int = 1) -> int:
+    """Worker count from ``REPRO_WORKERS`` (benchmark drivers' knob)."""
+    raw = os.environ.get("REPRO_WORKERS", "")
+    if not raw:
+        return default
+    workers = int(raw)
+    if workers < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {workers}")
+    return workers
+
+
+def _expand_grid(grids: Mapping[str, Iterable]) -> List[Dict[str, object]]:
+    """The cross product of ``grids`` as parameter dicts, in grid order.
+
+    Grid order is preserved: the *last* grid varies fastest, matching
+    nested-loop intuition.  Empty grids are an error — a sweep over
+    nothing is always a driver bug, and silently returning ``[]`` used
+    to let it propagate into empty figures.
+    """
+    names = list(grids)
+    if not names:
+        raise ValueError("sweep grid has no axes; pass at least one parameter")
+    values = [list(grids[name]) for name in names]
+    for name, vals in zip(names, values):
+        if not vals:
+            raise ValueError(f"sweep grid axis {name!r} has no values")
+    return [dict(zip(names, combo)) for combo in itertools.product(*values)]
+
+
+def _measure_chunk(
+    measure: Callable[..., object], tasks: List[Tuple[int, Dict[str, object]]]
+) -> List[Tuple[int, object]]:
+    """Worker-side body: evaluate one chunk of (index, params) records."""
+    return [(index, measure(**params)) for index, params in tasks]
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def run_sweep(
     measure: Callable[..., object],
     grids: Mapping[str, Iterable],
-    progress: Callable[[Dict[str, object]], None] = None,
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    store: Union[None, str, os.PathLike, SweepStore] = None,
 ) -> List[SweepPoint]:
     """Evaluate ``measure(**point)`` over the cross product of ``grids``.
 
-    Grid order is preserved: the *last* grid varies fastest, matching
-    nested-loop intuition.  ``progress`` (if given) is called with each
-    point's parameters before measuring — handy for long sweeps.
+    Parameters
+    ----------
+    measure:
+        The measurement function; called once per grid point with the
+        point's parameters as keyword arguments.  Must be picklable
+        (a module-level function or :func:`functools.partial` of one)
+        for ``workers > 1``; otherwise the sweep silently runs serial.
+    grids:
+        Ordered mapping of parameter name -> values.  The last axis
+        varies fastest; results always come back in grid order.
+    workers:
+        Process count.  ``1`` (default) runs in-process; ``N > 1``
+        fans chunks out over a ``ProcessPoolExecutor``.
+    chunk_size:
+        Grid points per worker task.  Defaults to ~4 chunks per worker,
+        which amortizes pickling without starving the pool.
+    progress:
+        Called with each point's params in grid order before it is
+        measured (at submission time when parallel).
+    store:
+        A path or :class:`SweepStore`: previously stored points are
+        returned without measuring, newly measured points are persisted.
+
+    Returns
+    -------
+    list of :class:`SweepPoint`
+        One record per grid point, in grid order, independent of
+        ``workers``/``chunk_size``/``store``.
     """
-    names = list(grids)
-    values = [list(grids[name]) for name in names]
-    points: List[SweepPoint] = []
-    for combo in itertools.product(*values):
-        params = dict(zip(names, combo))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    combos = _expand_grid(grids)
+    if store is not None and not isinstance(store, SweepStore):
+        store = SweepStore(store)
+
+    results: List[object] = [None] * len(combos)
+    pending: List[Tuple[int, Dict[str, object]]] = []
+    for index, params in enumerate(combos):
         if progress is not None:
             progress(params)
-        points.append(SweepPoint(params=params, value=measure(**params)))
-    return points
+        if store is not None:
+            found, value = store.get(params)
+            if found:
+                results[index] = value
+                continue
+        pending.append((index, params))
+
+    if pending:
+        if workers > 1 and _is_picklable(measure):
+            size = chunk_size or max(1, -(-len(pending) // (workers * 4)))
+            chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_measure_chunk, measure, chunk) for chunk in chunks]
+                # Collect in submission order — completion order never
+                # leaks into the result, so the merge is deterministic.
+                for future in futures:
+                    for index, value in future.result():
+                        results[index] = value
+        else:
+            for index, params in pending:
+                results[index] = measure(**params)
+        if store is not None:
+            for index, params in pending:
+                store.put(params, results[index])
+            store.flush()
+
+    return [
+        SweepPoint(params=params, value=results[index]) for index, params in enumerate(combos)
+    ]
+
+
+def sweep(
+    measure: Callable[..., object],
+    grids: Mapping[str, Iterable],
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> List[SweepPoint]:
+    """Serial :func:`run_sweep` — the original simple entry point."""
+    return run_sweep(measure, grids, workers=1, progress=progress)
 
 
 def sweep_table(

@@ -5,7 +5,7 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
 
     repro-mcast fig12a              # optimal k vs m (analytic)
     repro-mcast fig12b              # optimal k vs n (analytic)
-    repro-mcast fig13a [--full]     # simulated latency vs m
+    repro-mcast fig13a [--full] [--workers 4]   # simulated latency vs m
     repro-mcast fig13b [--full]
     repro-mcast fig14a [--full]     # binomial vs k-binomial vs m
     repro-mcast fig14b [--full]
@@ -94,7 +94,7 @@ def _cmd_fig12b(args) -> None:
 
 def _cmd_fig13a(args) -> None:
     config = _config(args)
-    data = fig13a_latency_vs_m(config)
+    data = fig13a_latency_vs_m(config, workers=args.workers)
     m_values = (1, 2, 4, 8, 16, 24, 32)
     series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
     print(
@@ -110,7 +110,7 @@ def _cmd_fig13a(args) -> None:
 
 def _cmd_fig13b(args) -> None:
     config = _config(args)
-    data = fig13b_latency_vs_n(config)
+    data = fig13b_latency_vs_n(config, workers=args.workers)
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     print(
         render_series(
@@ -124,7 +124,7 @@ def _cmd_fig13b(args) -> None:
 
 def _cmd_fig14a(args) -> None:
     config = _config(args)
-    data = fig14a_comparison_vs_m(config)
+    data = fig14a_comparison_vs_m(config, workers=args.workers)
     m_values = (1, 2, 4, 8, 16, 24, 32)
     for d, curves in data.items():
         print(
@@ -141,7 +141,7 @@ def _cmd_fig14a(args) -> None:
 
 def _cmd_fig14b(args) -> None:
     config = _config(args)
-    data = fig14b_comparison_vs_n(config)
+    data = fig14b_comparison_vs_n(config, workers=args.workers)
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     for m, curves in data.items():
         print(
@@ -273,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--dest-sets", type=int, default=6)
         p.add_argument("--seed", type=int, default=1997)
         p.add_argument("--csv", default=None, help="also write the series as CSV")
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="processes for the sweep grid (1 = serial)",
+        )
 
     p = sub.add_parser("fig12a", help="optimal k vs packets (analytic)")
     p.add_argument("--max-m", type=int, default=35)

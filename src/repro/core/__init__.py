@@ -14,6 +14,15 @@ Quick tour::
 """
 
 from .buffers import BufferComparison, compare_buffers, fcfs_buffer_time, fpfs_buffer_time
+from .cache import (
+    CacheStats,
+    cache_stats,
+    cached_build_kbinomial_tree,
+    cached_fpfs_total_steps,
+    cached_kbinomial_steps,
+    cached_steps_needed,
+    clear_caches,
+)
 from .kbinomial import (
     build_kbinomial_tree,
     coverage,
@@ -56,16 +65,23 @@ from .validation import (
 
 __all__ = [
     "BufferComparison",
+    "CacheStats",
     "MulticastTree",
     "OptimalKTable",
     "build_binomial_tree",
     "build_flat_tree",
     "build_kbinomial_tree",
     "build_linear_tree",
+    "cache_stats",
+    "cached_build_kbinomial_tree",
+    "cached_fpfs_total_steps",
+    "cached_kbinomial_steps",
+    "cached_steps_needed",
     "check_chain_locality",
     "check_covers",
     "check_fanout_cap",
     "check_kbinomial_depth",
+    "clear_caches",
     "compare_buffers",
     "conventional_latency_model",
     "coverage",

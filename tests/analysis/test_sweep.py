@@ -1,10 +1,18 @@
-"""Generic sweep utility."""
+"""Generic sweep utility and the parallel run_sweep engine."""
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
-from repro.analysis import sweep, sweep_table
+from repro.analysis import run_sweep, sweep, sweep_table
+from repro.analysis.sweep import SweepStore
+
+
+def picklable_measure(n, m):
+    """Module-level (hence picklable) measure for the parallel tests."""
+    return (n * 1000 + m, float(n) / m)
 
 
 def test_cross_product_order():
@@ -46,3 +54,103 @@ def test_sweep_with_real_measurement():
     points = sweep(optimal_k, {"n": [16, 64], "m": [1, 8]})
     values = {(p["n"], p["m"]): p.value for p in points}
     assert values[(64, 1)] == 6 and values[(64, 8)] == 2
+
+
+# ---------------------------------------------------------------------------
+# run_sweep: the parallel engine
+# ---------------------------------------------------------------------------
+
+def test_empty_grid_rejected():
+    with pytest.raises(ValueError, match="no axes"):
+        run_sweep(picklable_measure, {})
+    with pytest.raises(ValueError, match="axis 'm'"):
+        sweep(picklable_measure, {"n": [1, 2], "m": []})
+
+
+def test_invalid_engine_arguments_rejected():
+    with pytest.raises(ValueError):
+        run_sweep(picklable_measure, {"n": [1], "m": [1]}, workers=0)
+    with pytest.raises(ValueError):
+        run_sweep(picklable_measure, {"n": [1], "m": [1]}, chunk_size=0)
+
+
+def test_parallel_is_byte_identical_to_serial():
+    """Determinism regression: guards the parallel merge path forever."""
+    grids = {"n": list(range(1, 26)), "m": [1, 2, 3, 4]}  # 100 points
+    serial = run_sweep(picklable_measure, grids, workers=1)
+    parallel = run_sweep(picklable_measure, grids, workers=4, chunk_size=7)
+    assert pickle.dumps(serial) == pickle.dumps(parallel)
+    # Grid order (last axis fastest) is preserved by the parallel merge.
+    assert [p.params for p in parallel][:5] == [
+        {"n": 1, "m": 1},
+        {"n": 1, "m": 2},
+        {"n": 1, "m": 3},
+        {"n": 1, "m": 4},
+        {"n": 2, "m": 1},
+    ]
+
+
+def test_unpicklable_measure_falls_back_to_serial():
+    offset = 10  # closure over a local -> unpicklable measure
+    points = run_sweep(lambda x: x + offset, {"x": [1, 2, 3]}, workers=4)
+    assert [p.value for p in points] == [11, 12, 13]
+
+
+def test_parallel_progress_sees_every_point_in_grid_order():
+    seen = []
+    run_sweep(
+        picklable_measure,
+        {"n": [1, 2], "m": [3, 4]},
+        workers=2,
+        progress=lambda params: seen.append((params["n"], params["m"])),
+    )
+    assert seen == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+
+def test_store_skips_already_computed_points(tmp_path):
+    path = tmp_path / "store.json"
+    grids = {"n": [1, 2, 3], "m": [1, 2]}
+    first = SweepStore(path)
+    computed = run_sweep(picklable_measure, grids, store=first)
+    assert first.misses == 6 and first.hits == 0
+    assert len(first) == 6
+
+    calls = []
+
+    def tracking(n, m):  # unpicklable on purpose; runs serial
+        calls.append((n, m))
+        return picklable_measure(n, m)
+
+    second = SweepStore(path)
+    replayed = run_sweep(tracking, grids, store=second)
+    assert calls == []  # nothing recomputed
+    assert second.hits == 6 and second.misses == 0
+    # JSON round-trips tuples as lists; params and ordering are intact.
+    assert [p.params for p in replayed] == [p.params for p in computed]
+    assert [p.value for p in replayed] == [list(p.value) for p in computed]
+
+
+def test_store_extends_incrementally(tmp_path):
+    path = tmp_path / "store.json"
+    run_sweep(picklable_measure, {"n": [1], "m": [1, 2]}, store=path)
+    store = SweepStore(path)
+    run_sweep(picklable_measure, {"n": [1, 2], "m": [1, 2]}, store=store)
+    assert store.hits == 2 and store.misses == 2
+    assert len(SweepStore(path)) == 4
+
+
+def test_store_rejects_unserializable_values(tmp_path):
+    with pytest.raises(TypeError, match="JSON-serializable"):
+        run_sweep(lambda x: object(), {"x": [1]}, store=tmp_path / "bad.json")
+
+
+def test_parallel_with_store_only_measures_missing_points(tmp_path):
+    path = tmp_path / "store.json"
+    run_sweep(picklable_measure, {"n": [1, 2], "m": [1, 2]}, store=path)
+    store = SweepStore(path)
+    points = run_sweep(
+        picklable_measure, {"n": [1, 2, 3, 4], "m": [1, 2]}, workers=4, store=store
+    )
+    assert store.hits == 4 and store.misses == 4
+    expected = run_sweep(picklable_measure, {"n": [1, 2, 3, 4], "m": [1, 2]})
+    assert [tuple(p.value) for p in points] == [tuple(p.value) for p in expected]

@@ -1,0 +1,137 @@
+"""Property tests for the memoized model caches (:mod:`repro.core.cache`).
+
+The caches are pure memoization: every wrapper must be extensionally
+equal to its uncached original over randomized-but-seeded (n, k, m)
+grids, counters must reset with :func:`clear_caches`, and Lemma 1's
+coverage recurrence must hold identically on cold and warm caches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+#: The autouse cache-clearing fixture is deliberately per-test, not
+#: per-example; every @given body re-derives its own state anyway.
+RELAXED = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+from repro.core import (
+    build_kbinomial_tree,
+    cache_stats,
+    cached_build_kbinomial_tree,
+    cached_fpfs_total_steps,
+    cached_kbinomial_steps,
+    cached_steps_needed,
+    clear_caches,
+    coverage,
+    fpfs_total_steps,
+    min_k_binomial,
+    steps_needed,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    """Each test starts and ends with empty caches and zero counters."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _seeded_grid(seed: int, count: int = 30):
+    """Randomized-but-seeded (n, k, m) triples with k legal for n."""
+    rng = random.Random(seed)
+    triples = []
+    for _ in range(count):
+        n = rng.randint(2, 48)
+        k = rng.randint(1, min_k_binomial(n))
+        m = rng.randint(1, 12)
+        triples.append((n, k, m))
+    return triples
+
+
+@RELAXED
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_cached_values_equal_uncached(seed):
+    for n, k, m in _seeded_grid(seed):
+        assert cached_steps_needed(n, k) == steps_needed(n, k)
+        tree = cached_build_kbinomial_tree(range(n), k)
+        reference = build_kbinomial_tree(list(range(n)), k)
+        assert list(tree.edges()) == list(reference.edges())
+        assert cached_fpfs_total_steps(tree, m) == fpfs_total_steps(reference, m)
+        assert cached_kbinomial_steps(n, k, m) == fpfs_total_steps(reference, m)
+
+
+def test_repeat_calls_hit_and_values_survive_clearing():
+    grid = _seeded_grid(7, count=15)
+    cold = [cached_kbinomial_steps(n, k, m) for n, k, m in grid]
+    warm = [cached_kbinomial_steps(n, k, m) for n, k, m in grid]
+    stats = cache_stats()["kbinomial_steps"]
+    assert cold == warm
+    assert stats.hits >= len(grid)  # the second pass was all hits
+    assert 0 < stats.hit_rate < 1
+    # Cache boundary: clearing must not change any value.
+    clear_caches()
+    assert [cached_kbinomial_steps(n, k, m) for n, k, m in grid] == cold
+
+
+def test_cached_trees_are_shared_instances():
+    a = cached_build_kbinomial_tree(range(9), 2)
+    b = cached_build_kbinomial_tree(list(range(9)), 2)  # list vs range
+    assert a is b  # canonicalized key -> one shared (immutable) tree
+    # Identity keying makes the schedule wrapper hit on the shared tree.
+    cached_fpfs_total_steps(a, 4)
+    cached_fpfs_total_steps(b, 4)
+    assert cache_stats()["fpfs_total_steps"].hits == 1
+
+
+def test_clear_caches_resets_counters():
+    cached_steps_needed(17, 2)
+    cached_steps_needed(17, 2)
+    cached_kbinomial_steps(17, 2, 3)
+    before = cache_stats()
+    assert before["steps_needed"].hits == 1
+    assert before["steps_needed"].misses == 1
+    assert before["kbinomial_steps"].calls == 1
+    clear_caches()
+    after = cache_stats()
+    for name, stats in after.items():
+        assert (stats.hits, stats.misses, stats.currsize) == (0, 0, 0), name
+    assert after["steps_needed"].hit_rate == 0.0
+
+
+@RELAXED
+@given(
+    s=st.integers(min_value=0, max_value=16),
+    k=st.integers(min_value=1, max_value=8),
+)
+def test_lemma1_invariants_hold_at_cache_boundaries(s, k):
+    """Lemma 1's N(s, k) recurrence, checked cold and warm."""
+
+    def invariants():
+        value = coverage(s, k)
+        if s <= k:
+            assert value == 2**s
+        else:
+            assert value == 1 + sum(coverage(s - i, k) for i in range(1, k + 1))
+        if s > 0:
+            assert value > coverage(s - 1, k)  # strictly growing in s
+        # T1 consistency: steps_needed inverts coverage.
+        n = value
+        assert cached_steps_needed(n, k) == s or n == 1
+        if n > 1:
+            assert coverage(cached_steps_needed(n, k) - 1, k) < n
+        return value
+
+    cold = invariants()  # first call populates the coverage cache
+    warm = invariants()  # second call is served from it
+    assert cold == warm
+    clear_caches()
+    assert invariants() == cold  # identical after invalidation

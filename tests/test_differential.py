@@ -1,0 +1,131 @@
+"""Differential harness: full DES vs the paper's pipelined-latency theory.
+
+On a contention-free fabric (a single-switch star: every same-step send
+pair is channel-disjoint) with step-aligned parameters, the simulator's
+completion time is an exact integer multiple of the step cost, so the
+DES can be compared against the theorems *exactly*, point for point
+over an (n, k, m) grid:
+
+* **DES ≡ exact scheduler** — simulated FPFS step counts equal
+  ``fpfs_total_steps`` for every (n, k, m).
+* **DES ≡ Theorem 1/2** — on k-binomial trees satisfying the theorems'
+  premise (no interior node out-fans the root — all perfect-size trees
+  ``n = N(s, k)`` do, plus many slack trees), the simulated step count
+  equals the closed form ``T1 + (m - 1) · k_T`` exactly.
+* **Theorem 2 as an upper bound** — for the remaining slack trees the
+  closed form priced at the fan-out *cap* still bounds the DES.
+* **FPFS ≤ FCFS** — point for point, the paper's §3 claim.
+
+The full grid is marked ``slow`` (tier-1 skips it via ``-m "not
+slow"``); a reduced smoke grid always runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    build_kbinomial_tree,
+    coverage,
+    fcfs_total_steps,
+    fpfs_total_steps,
+    min_k_binomial,
+    steps_needed,
+    theorem2_steps,
+)
+from repro.mcast import MulticastSimulator
+from repro.network import Topology, UpDownRouter, host, switch
+from repro.nic import FCFSInterface
+from repro.params import SystemParams
+
+#: Step-aligned parameters: one send = t_ns(1) + wire(1) = 2 units, no
+#: host overheads, so DES completion time == steps * STEP_COST exactly.
+STEP_PARAMS = SystemParams(
+    t_s=0.0,
+    t_r=0.0,
+    t_ns=1.0,
+    t_nr=0.0,
+    t_switch=0.0,
+    link_bandwidth=64.0,
+    packet_bytes=64,
+)
+STEP_COST = STEP_PARAMS.t_ns + STEP_PARAMS.wire_time
+
+MAX_NODES = 24
+
+
+def _star(n_hosts: int):
+    """Single-switch star: pairwise-disjoint routes => contention-free."""
+    topo = Topology()
+    topo.add_switch(0)
+    for i in range(n_hosts):
+        topo.add_host(i, switch(0))
+    return topo, UpDownRouter(topo)
+
+
+_TOPO, _ROUTER = _star(MAX_NODES)
+
+
+def _des_steps(tree, m, ni_class=None) -> int:
+    """Simulated step count (completion time / step cost, exact)."""
+    kwargs = {} if ni_class is None else {"ni_class": ni_class}
+    simulator = MulticastSimulator(_TOPO, _ROUTER, params=STEP_PARAMS, **kwargs)
+    completion = simulator.run(tree, m).completion_time
+    steps = completion / STEP_COST
+    assert steps == round(steps), f"non-integral step count {steps}"
+    return round(steps)
+
+
+def _check_point(n: int, k: int, m: int) -> None:
+    """All four differential assertions for one (n, k, m) point."""
+    tree = build_kbinomial_tree([host(i) for i in range(n)], k)
+    exact = fpfs_total_steps(tree, m)
+    des = _des_steps(tree, m)
+
+    # DES == exact step scheduler, always.
+    assert des == exact, (n, k, m)
+
+    # DES == Theorem 1/2 closed form whenever the theorems' premise
+    # (no interior node out-fans the root) holds.
+    t1 = steps_needed(n, k)
+    if tree.max_fanout <= tree.root_fanout:
+        predicted = theorem2_steps(t1, m, tree.root_fanout)
+        assert des == predicted, (n, k, m, des, predicted)
+    # Priced at the cap, Theorem 2 bounds every constructed tree.
+    assert des <= theorem2_steps(t1, m, k), (n, k, m)
+
+    # FPFS never loses to FCFS (§3.1/§3.2).
+    des_fcfs = _des_steps(tree, m, ni_class=FCFSInterface)
+    assert des <= des_fcfs, (n, k, m)
+    assert des_fcfs == fcfs_total_steps(tree, m), (n, k, m)
+
+
+@pytest.mark.parametrize("n", [4, 9, 16])
+@pytest.mark.parametrize("m", [1, 3])
+def test_differential_smoke_grid(n, m):
+    """Reduced always-on grid: every legal k for a few (n, m)."""
+    for k in range(1, min_k_binomial(n) + 1):
+        _check_point(n, k, m)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("n", range(2, MAX_NODES + 1))
+def test_differential_full_grid(n):
+    """Every (k, m) for every n up to the star's size."""
+    for k in range(1, min_k_binomial(n) + 1):
+        for m in (1, 2, 4, 8):
+            _check_point(n, k, m)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("k", [1, 2, 3, 4])
+def test_differential_perfect_trees_meet_theorem2(k):
+    """Perfect sizes n = N(s, k) always satisfy the theorem premise."""
+    for s in range(1, 6):
+        n = coverage(s, k)
+        if n > MAX_NODES:
+            break
+        tree = build_kbinomial_tree([host(i) for i in range(n)], k)
+        assert tree.max_fanout <= tree.root_fanout
+        for m in (1, 2, 4, 8):
+            assert _des_steps(tree, m) == theorem2_steps(s, m, tree.root_fanout)
