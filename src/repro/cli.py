@@ -14,6 +14,8 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast simulate --dests 15 --bytes 512 [--tree binomial] [--ni fcfs]
     repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
     repro-mcast decoster --bytes 4096
+    repro-mcast serve --port 7017 --workers 2       # plan service
+    repro-mcast plan -n 64 -m 8 [--connect HOST:PORT] [--schedule]
 """
 
 from __future__ import annotations
@@ -260,6 +262,92 @@ def _cmd_decoster(args) -> None:
     )
 
 
+def _machine_params(args):
+    from .params import MachineParams
+
+    overrides = {}
+    for name in ("t_s", "t_r", "t_step", "t_sq"):
+        value = getattr(args, name, None)
+        if value is not None:
+            overrides[name] = value
+    if getattr(args, "ports", None) is not None:
+        overrides["ports"] = args.ports
+    return MachineParams(**overrides)
+
+
+def _cmd_serve(args) -> None:
+    import asyncio
+
+    from .service import PlanServer
+
+    server = PlanServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        request_timeout=args.timeout,
+        max_n=args.max_n,
+    )
+
+    async def _run() -> None:
+        # Start before serving so the bound (possibly ephemeral) port
+        # is printed; run_until_signal() then drains on SIGTERM/SIGINT.
+        await server.start()
+        print(f"plan service listening on {server.host}:{server.port}", flush=True)
+        await server.run_until_signal()
+
+    asyncio.run(_run())
+    print("plan service drained and stopped")
+
+
+def _cmd_plan(args) -> None:
+    params = _machine_params(args)
+    if args.connect:
+        from .service import plan_remote
+
+        host, _, port = args.connect.rpartition(":")
+        result = plan_remote(host or "127.0.0.1", int(port), args.n, args.m, params)
+        source = f"server {args.connect}"
+    else:
+        from .service import PlanRequest, plan
+
+        result = plan(PlanRequest(n=args.n, m=args.m, params=params))
+        source = "local planner"
+    print(
+        render_table(
+            ["n", "m", "k", "k_T", "T1", "pipeline", "steps", "latency us", "buf bound us"],
+            [
+                [
+                    result.n,
+                    result.m,
+                    result.k,
+                    result.root_fanout,
+                    result.t1,
+                    result.pipeline_steps,
+                    result.total_steps,
+                    round(result.latency_us, 1),
+                    round(result.buffer_bound_us, 2),
+                ]
+            ],
+            title=f"optimal multicast plan ({source})",
+        )
+    )
+    if args.schedule:
+        print()
+        print("node  parent  first/last recv  children (first-send step)")
+        for row in result.schedule:
+            sends = ", ".join(
+                f"{child}@{step}" for child, step in zip(row.children, row.child_first_send)
+            )
+            parent = "-" if row.parent is None else row.parent
+            print(
+                f"{row.node:>4}  {parent:>6}  {row.first_recv:>5}/{row.last_recv:<5}"
+                f"     {sends or '-'}"
+            )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mcast",
@@ -332,6 +420,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=64, help="multicast set size")
     p.add_argument("--bytes", type=int, default=4096)
     p.set_defaults(func=_cmd_decoster)
+
+    def add_machine_params(p):
+        p.add_argument("--t-s", dest="t_s", type=float, default=None, help="host send overhead us")
+        p.add_argument("--t-r", dest="t_r", type=float, default=None, help="host recv overhead us")
+        p.add_argument("--t-step", dest="t_step", type=float, default=None, help="per-step cost us")
+        p.add_argument("--t-sq", dest="t_sq", type=float, default=None, help="send-queue push us")
+        p.add_argument("--ports", type=int, default=None, help="NI injection ports")
+
+    p = sub.add_parser("serve", help="run the multicast plan service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7017, help="0 picks an ephemeral port")
+    p.add_argument("--workers", type=int, default=1, help="planner executor threads")
+    p.add_argument("--max-inflight", type=int, default=256, help="admission bound")
+    p.add_argument("--max-batch", type=int, default=64, help="micro-batch flush size")
+    p.add_argument("--max-delay", type=float, default=0.001, help="micro-batch window s")
+    p.add_argument("--timeout", type=float, default=5.0, help="per-request deadline s")
+    p.add_argument("--max-n", type=int, default=65536, help="largest accepted n")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("plan", help="one plan query (local, or --connect to a server)")
+    p.add_argument("-n", type=int, required=True, help="multicast set size")
+    p.add_argument("-m", type=int, required=True, help="number of packets")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT")
+    p.add_argument("--schedule", action="store_true", help="print the per-node schedule")
+    add_machine_params(p)
+    p.set_defaults(func=_cmd_plan)
 
     return parser
 

@@ -22,6 +22,7 @@ from .cache import (
     cached_kbinomial_steps,
     cached_steps_needed,
     clear_caches,
+    register_cache,
 )
 from .kbinomial import (
     build_kbinomial_tree,
@@ -82,6 +83,7 @@ __all__ = [
     "check_fanout_cap",
     "check_kbinomial_depth",
     "clear_caches",
+    "register_cache",
     "compare_buffers",
     "conventional_latency_model",
     "coverage",

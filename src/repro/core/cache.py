@@ -33,10 +33,19 @@ timing cold-vs-warm runs (see ``benchmarks/bench_sweep_engine.py``).
 Invalidation rule: everything cached here is a pure function of its
 arguments, so the only reasons to clear are isolation (tests, timing)
 and memory pressure.
+
+Thread safety: the ``lru_cache`` wrappers themselves are safe to call
+from concurrent planner workers (CPython serializes the dict ops), but
+registry-wide operations are not atomic across caches — a
+:func:`cache_stats` racing a :func:`clear_caches` could observe half
+the registry cleared, and :func:`register_cache` mutates the registry
+dict itself.  A module lock makes all three mutually exclusive; the
+hot cached calls never take it.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Sequence
@@ -54,6 +63,7 @@ __all__ = [
     "cached_kbinomial_steps",
     "cached_steps_needed",
     "clear_caches",
+    "register_cache",
 ]
 
 
@@ -133,21 +143,44 @@ _REGISTRY = {
     "kbinomial_steps": cached_kbinomial_steps,
 }
 
+#: Serializes registry-wide operations (stats / clear / register) so
+#: concurrent planner workers see the registry atomically.
+_REGISTRY_LOCK = threading.RLock()
+
+
+def register_cache(name: str, fn) -> None:
+    """Add an external ``lru_cache``-compatible cache to the registry.
+
+    ``fn`` must expose ``cache_info()`` and ``cache_clear()`` (the
+    :func:`functools.lru_cache` protocol).  Registering the same name
+    twice replaces the entry, so module reloads stay idempotent.  Used
+    by :mod:`repro.service.planner` to surface its schedule memo in
+    :func:`cache_stats` alongside the core caches.
+    """
+    if not (hasattr(fn, "cache_info") and hasattr(fn, "cache_clear")):
+        raise TypeError(f"{name!r} is not an lru_cache-compatible cache: {fn!r}")
+    with _REGISTRY_LOCK:
+        _REGISTRY[name] = fn
+
 
 def cache_stats() -> Dict[str, CacheStats]:
     """Hit/miss/size counters for every registered cache, by name."""
-    stats = {}
-    for name, fn in _REGISTRY.items():
-        info = fn.cache_info()
-        stats[name] = CacheStats(hits=info.hits, misses=info.misses, currsize=info.currsize)
-    return stats
+    with _REGISTRY_LOCK:
+        stats = {}
+        for name, fn in _REGISTRY.items():
+            info = fn.cache_info()
+            stats[name] = CacheStats(hits=info.hits, misses=info.misses, currsize=info.currsize)
+        return stats
 
 
 def clear_caches() -> None:
     """Empty every registered cache and reset its counters.
 
     Call between timing runs (cold vs warm) and in tests that assert on
-    counters; the cached values themselves never go stale.
+    counters; the cached values themselves never go stale.  Safe to call
+    while planner workers are computing: each underlying ``lru_cache``
+    clear is atomic, and the registry walk holds the module lock.
     """
-    for fn in _REGISTRY.values():
-        fn.cache_clear()
+    with _REGISTRY_LOCK:
+        for fn in _REGISTRY.values():
+            fn.cache_clear()

@@ -147,6 +147,8 @@ class MulticastSimulator:
                 raise ValueError(f"host_speed[{h!r}] must be positive, got {factor}")
         #: Trace of the most recent run (None unless collect_trace).
         self.last_trace: Optional[Trace] = None
+        #: NI registry of the most recent run (post-mortem inspection).
+        self.last_registry: Optional[NICRegistry] = None
 
     def _make_pool(self, env: Environment) -> ChannelPool:
         """Channel pool factory (hook for lossy/instrumented pools)."""
@@ -238,6 +240,7 @@ class MulticastSimulator:
             env.run()
 
         self.last_trace = trace if self.collect_trace else None
+        self.last_registry = registry
         return [self._collect(registry, pool, message, trace) for message in messages]
 
     def _collect(

@@ -13,7 +13,7 @@ here and why.  All times are microseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -105,3 +105,77 @@ class SystemParams:
 
 #: The paper's default parameter set.
 PAPER_PARAMS = SystemParams()
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """The analytic-model view of a machine, as the plan service sees it.
+
+    :class:`SystemParams` carries the full DES technology vector; the
+    planner only needs the four numbers of the paper's step model plus
+    the NI port count, and it needs them *hashable* (plan requests are
+    deduplicated on ``(n, m, MachineParams)``) and *validated at
+    construction* — a malformed service request must fail at the parse
+    boundary with a clear message, not deep inside tree construction.
+
+    Attributes
+    ----------
+    t_s, t_r:
+        Host software send/receive overheads (µs), as in
+        :class:`SystemParams` but required to be strictly positive (a
+        zero-overhead host is a degenerate model the service refuses).
+    t_step:
+        Cost of one NI-to-NI packet step (µs); defaults to the paper
+        parameters' composed :attr:`SystemParams.t_step`.
+    t_sq:
+        §3.3's send-queue push time (µs) — the unit of the FPFS buffer
+        residence bound ``c · t_sq``.
+    ports:
+        NI injection ports (the paper's model is one-port).
+    """
+
+    t_s: float = PAPER_PARAMS.t_s
+    t_r: float = PAPER_PARAMS.t_r
+    t_step: float = PAPER_PARAMS.t_step
+    t_sq: float = 1.0
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("t_s", "t_r", "t_step", "t_sq"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"{name} must be a number, got {value!r}")
+            if not value > 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if isinstance(self.ports, bool) or not isinstance(self.ports, int):
+            raise ValueError(f"ports must be an integer, got {self.ports!r}")
+        if self.ports < 1:
+            raise ValueError(f"ports must be >= 1, got {self.ports}")
+
+    @classmethod
+    def from_system(
+        cls, params: SystemParams, t_sq: float = 1.0, ports: int = 1
+    ) -> "MachineParams":
+        """Project a full :class:`SystemParams` onto the planner's view."""
+        return cls(
+            t_s=params.t_s, t_r=params.t_r, t_step=params.t_step, t_sq=t_sq, ports=ports
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable wire form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MachineParams":
+        """Parse the wire form, rejecting unknown keys with a clear error."""
+        if not isinstance(payload, dict):
+            raise ValueError(f"params must be an object, got {type(payload).__name__}")
+        known = {"t_s", "t_r", "t_step", "t_sq", "ports"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown params fields: {unknown}; expected {sorted(known)}")
+        return cls(**payload)
+
+
+#: The planner's default machine: the paper's timing, unit t_sq, one port.
+PAPER_MACHINE = MachineParams()

@@ -1,0 +1,63 @@
+"""The multicast plan service: the paper's theory as a control plane.
+
+Everything below :mod:`repro.core` answers "what is the optimal
+multicast tree for (n, m) on this machine?" as a batch computation;
+this package turns it into a long-running request/response service —
+the role the NI-resident optimal-k table (§4.3.1) plays in hardware,
+and the shape dynamic multicast control planes take in the related
+work.
+
+Layers, innermost out:
+
+* :mod:`~repro.service.planner` — the pure request → result function:
+  :class:`PlanRequest` (``n``, ``m``, :class:`~repro.params.MachineParams`)
+  to :class:`PlanResult` (chosen k, per-node FPFS forwarding schedule,
+  cost breakdown ``T1 + (m-1)·k_T``, buffer bound ``c·t_sq``), memoized
+  through :mod:`repro.core.cache`.
+* :mod:`~repro.service.batching` — :class:`PlanBatcher`: micro-batches
+  concurrent requests, collapses identical keys into single-flight
+  computations, and fans distinct keys over an executor in sweep-style
+  chunks.
+* :mod:`~repro.service.metrics` — :class:`ServiceMetrics`: counters and
+  latency histograms (p50/p95/p99) plus the plan-cache hit rates from
+  :func:`repro.core.cache.cache_stats`.
+* :mod:`~repro.service.server` — :class:`PlanServer`: asyncio
+  JSON-lines TCP front end with per-request timeouts, bounded
+  admission (explicit ``overloaded`` shed, never unbounded latency),
+  and graceful drain.
+* :mod:`~repro.service.client` — :class:`PlanClient` (async) and the
+  :func:`plan_remote` / :func:`stats_remote` sync conveniences.
+
+Quickstart::
+
+    repro-mcast serve --port 7017            # terminal 1
+    repro-mcast plan -n 64 -m 8 --connect localhost:7017
+
+or in-process::
+
+    from repro.service import PlanRequest, plan
+    result = plan(PlanRequest(n=64, m=8))
+    print(result.k, result.latency_us)
+"""
+
+from .batching import PlanBatcher
+from .client import OverloadedError, PlanClient, PlanServiceError, plan_remote, stats_remote
+from .metrics import LatencyHistogram, ServiceMetrics
+from .planner import NodePlan, PlanRequest, PlanResult, plan
+from .server import PlanServer
+
+__all__ = [
+    "LatencyHistogram",
+    "NodePlan",
+    "OverloadedError",
+    "PlanBatcher",
+    "PlanClient",
+    "PlanRequest",
+    "PlanResult",
+    "PlanServer",
+    "PlanServiceError",
+    "ServiceMetrics",
+    "plan",
+    "plan_remote",
+    "stats_remote",
+]

@@ -1,0 +1,207 @@
+"""Micro-batching and single-flight coalescing for plan requests.
+
+The service's traffic is skewed: a production control plane sees the
+same few ``(n, m, params)`` keys over and over (the same reason §4.3.1
+can precompute the optimal-k table at all).  :class:`PlanBatcher`
+exploits that twice:
+
+* **single-flight** — while a key is being computed, every further
+  request for it attaches to the in-flight future instead of enqueuing
+  a duplicate computation (the classic singleflight/request-collapsing
+  pattern);
+* **micro-batching** — distinct keys arriving within ``max_delay`` of
+  each other (or until ``max_batch`` uniques accumulate) are flushed
+  together and fanned over an executor in chunks, using the same
+  ``~4 chunks per worker`` split as
+  :func:`repro.analysis.sweep.run_sweep` — one executor round-trip
+  amortizes over several plans.
+
+The executor defaults to a private thread pool: a plan is dominated by
+the memoized :mod:`repro.core.cache` tables, so warm traffic is far
+cheaper than process fan-out would cost in pickling; inject a
+``ProcessPoolExecutor`` for cold, CPU-bound grids (requests and
+results are picklable by design).
+
+All public methods must be called from the event loop thread; the
+executor workers only run the pure :func:`~repro.service.planner.plan`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .metrics import ServiceMetrics
+from .planner import PlanRequest, PlanResult, plan
+
+__all__ = ["PlanBatcher", "plan_chunk"]
+
+#: A chunk outcome: the result, or the exception the plan raised.
+_Outcome = Union[PlanResult, Exception]
+
+
+def plan_chunk(requests: Sequence[PlanRequest]) -> List[_Outcome]:
+    """Executor-side body: plan each request, capturing per-item errors.
+
+    Module-level (like the sweep engine's ``_measure_chunk``) so it
+    pickles into process pools; exceptions travel as values so one bad
+    request cannot poison its chunk-mates.
+    """
+    outcomes: List[_Outcome] = []
+    for request in requests:
+        try:
+            outcomes.append(plan(request))
+        except Exception as exc:  # noqa: BLE001 - relayed to the caller
+            outcomes.append(exc)
+    return outcomes
+
+
+class PlanBatcher:
+    """Coalesce concurrent plan requests into batched executor calls.
+
+    Parameters
+    ----------
+    max_batch:
+        Flush as soon as this many *unique* keys are pending.
+    max_delay:
+        Seconds to wait for more keys before flushing a non-full batch
+        (the micro-batching window; 0 flushes on the next loop tick).
+    workers:
+        Executor parallelism; also sets the sweep-style chunk split
+        (``ceil(pending / (workers * 4))`` per chunk).
+    chunk_size:
+        Override the chunk split with a fixed size.
+    executor:
+        Inject a custom executor (e.g. ``ProcessPoolExecutor``);
+        by default a private ``ThreadPoolExecutor(workers)`` is created
+        lazily and shut down by :meth:`close`.
+    metrics:
+        A :class:`~repro.service.metrics.ServiceMetrics` to record
+        single-flight hits, batch sizes, and unique computations.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = 64,
+        max_delay: float = 0.001,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        executor: Optional[Executor] = None,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.metrics = metrics
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._inflight: Dict[PlanRequest, asyncio.Future] = {}
+        self._pending: List[PlanRequest] = []
+        self._flush_handle: Optional[asyncio.TimerHandle] = None
+        self._chunk_tasks: "set[asyncio.Future]" = set()
+        self._closed = False
+
+    # -- public API ---------------------------------------------------------
+    async def submit(self, request: PlanRequest) -> PlanResult:
+        """Plan ``request``, sharing any in-flight computation of the key."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        future = self._inflight.get(request)
+        if future is not None:
+            if self.metrics is not None:
+                self.metrics.singleflight_hits.inc()
+            # shield: a cancelled waiter (per-request timeout) must not
+            # cancel the shared computation other waiters depend on.
+            return await asyncio.shield(future)
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._inflight[request] = future
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.max_delay, self._flush)
+        return await asyncio.shield(future)
+
+    @property
+    def inflight(self) -> int:
+        """Keys currently being computed or awaiting flush."""
+        return len(self._inflight)
+
+    async def drain(self) -> None:
+        """Flush pending work and wait for every in-flight key to settle."""
+        self._flush()
+        while self._inflight or self._chunk_tasks:
+            futures = list(self._inflight.values()) + list(self._chunk_tasks)
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain, then release the owned executor.  Idempotent."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- internals ----------------------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="plan-worker"
+            )
+        return self._executor
+
+    def _flush(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        batch, self._pending = self._pending, []
+        if not batch:
+            return
+        if self.metrics is not None:
+            self.metrics.observe_batch(len(batch))
+            self.metrics.planned.inc(len(batch))
+        loop = asyncio.get_running_loop()
+        executor = self._ensure_executor()
+        # The sweep engine's split: ~4 chunks per worker amortizes the
+        # executor round-trip without starving the pool.
+        size = self.chunk_size or max(1, -(-len(batch) // (self.workers * 4)))
+        for start in range(0, len(batch), size):
+            chunk = tuple(batch[start : start + size])
+            task = loop.run_in_executor(executor, plan_chunk, chunk)
+            self._chunk_tasks.add(task)
+            task.add_done_callback(lambda done, chunk=chunk: self._finish(chunk, done))
+
+    def _finish(self, chunk: Tuple[PlanRequest, ...], done: asyncio.Future) -> None:
+        self._chunk_tasks.discard(done)
+        try:
+            outcomes: Sequence[_Outcome] = done.result()
+        except Exception as exc:  # executor itself failed (e.g. shutdown)
+            outcomes = [exc] * len(chunk)
+        for request, outcome in zip(chunk, outcomes):
+            future = self._inflight.pop(request, None)
+            if future is None or future.done():
+                continue
+            if isinstance(outcome, Exception):
+                future.set_exception(outcome)
+                # A timed-out waiter may be gone; mark the exception
+                # retrieved so the loop doesn't log it as orphaned.
+                future.exception()
+            else:
+                future.set_result(outcome)

@@ -1,0 +1,187 @@
+"""Clients for the plan service: async, pipelined, plus sync wrappers.
+
+:class:`PlanClient` multiplexes any number of concurrent ``plan`` calls
+over one connection — requests carry monotonically increasing ids, a
+single reader task routes each response line to its waiter, so N
+in-flight calls cost one socket (and land in the same server-side
+micro-batch).  Service-level failures surface as
+:class:`PlanServiceError` (with :class:`OverloadedError` split out so
+callers can branch on back-off without string-matching codes).
+
+For scripts and the CLI, :func:`plan_remote` and :func:`stats_remote`
+wrap one connect/request/close round trip in ``asyncio.run``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Dict, Optional
+
+from ..params import MachineParams
+from .planner import PlanResult
+
+__all__ = [
+    "OverloadedError",
+    "PlanClient",
+    "PlanServiceError",
+    "plan_remote",
+    "stats_remote",
+]
+
+
+class PlanServiceError(RuntimeError):
+    """An error response from the plan service."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class OverloadedError(PlanServiceError):
+    """The server shed this request; retry with backoff."""
+
+
+def _raise_for(error: dict) -> None:
+    code = error.get("code", "internal")
+    message = error.get("message", "")
+    if code == "overloaded":
+        raise OverloadedError(code, message)
+    raise PlanServiceError(code, message)
+
+
+class PlanClient:
+    """One pipelined connection to a :class:`~repro.service.server.PlanServer`.
+
+    Use as an async context manager, or pair :meth:`connect` with
+    :meth:`close`::
+
+        async with await PlanClient.connect("127.0.0.1", 7017) as client:
+            result = await client.plan(64, 8)
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "PlanClient":
+        """Open a connection and start the response router."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "PlanClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- requests -----------------------------------------------------------
+    async def request(self, payload: dict) -> dict:
+        """Send one raw request object, await its routed response."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        request_id = next(self._ids)
+        payload = dict(payload, id=request_id)
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        try:
+            self._writer.write(json.dumps(payload).encode() + b"\n")
+            await self._writer.drain()
+            return await future
+        finally:
+            self._waiters.pop(request_id, None)
+
+    async def plan(
+        self, n: int, m: int, params: Optional[MachineParams] = None
+    ) -> PlanResult:
+        """Request a plan for ``(n, m[, params])``; raises on service errors."""
+        payload: dict = {"type": "plan", "n": n, "m": m}
+        if params is not None:
+            payload["params"] = params.to_dict()
+        response = await self.request(payload)
+        if not response.get("ok"):
+            _raise_for(response.get("error", {}))
+        return PlanResult.from_dict(response["result"])
+
+    async def stats(self) -> dict:
+        """The server's :meth:`~repro.service.metrics.ServiceMetrics.snapshot`."""
+        response = await self.request({"type": "stats"})
+        if not response.get("ok"):
+            _raise_for(response.get("error", {}))
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        response = await self.request({"type": "ping"})
+        return bool(response.get("pong"))
+
+    async def close(self) -> None:
+        """Close the connection and fail any outstanding waiters."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        self._fail_waiters(ConnectionError("client closed"))
+
+    # -- internals ----------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = json.loads(line)
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            self._fail_waiters(exc)
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(exc)
+        self._waiters.clear()
+
+
+async def _one_shot(host: str, port: int, payload: dict) -> dict:
+    client = await PlanClient.connect(host, port)
+    try:
+        return await client.request(payload)
+    finally:
+        await client.close()
+
+
+def plan_remote(
+    host: str, port: int, n: int, m: int, params: Optional[MachineParams] = None
+) -> PlanResult:
+    """Synchronous one-shot plan request (the CLI's ``--connect`` path)."""
+    payload: dict = {"type": "plan", "n": n, "m": m}
+    if params is not None:
+        payload["params"] = params.to_dict()
+    response = asyncio.run(_one_shot(host, port, payload))
+    if not response.get("ok"):
+        _raise_for(response.get("error", {}))
+    return PlanResult.from_dict(response["result"])
+
+
+def stats_remote(host: str, port: int) -> dict:
+    """Synchronous one-shot stats request."""
+    response = asyncio.run(_one_shot(host, port, {"type": "stats"}))
+    if not response.get("ok"):
+        _raise_for(response.get("error", {}))
+    return response["stats"]

@@ -1,0 +1,203 @@
+"""Service observability: counters, latency histograms, cache hit rates.
+
+Deliberately dependency-free (no prometheus client in the image): a
+:class:`Counter` is a locked integer, a :class:`LatencyHistogram` is a
+fixed set of log-spaced buckets with O(1) recording and deterministic
+p50/p95/p99 estimates (quantiles resolve to a bucket's upper bound, so
+snapshots never depend on sample order), and :class:`ServiceMetrics`
+bundles the service's standard set and joins in the plan-cache counters
+from :func:`repro.core.cache.cache_stats` — the single-flight and memo
+layers stay observable through one ``stats`` request.
+
+All types are thread-safe: the server updates them on the event loop
+while benchmarks may read snapshots from other threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cache import cache_stats
+
+__all__ = ["Counter", "LatencyHistogram", "ServiceMetrics"]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative — counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self._value})"
+
+
+def _default_bounds_us() -> Tuple[float, ...]:
+    # 1 µs .. ~67 s in powers of two: 27 buckets, plus an overflow.
+    return tuple(float(1 << i) for i in range(27))
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram with quantile snapshots.
+
+    ``record`` takes seconds (what ``time.perf_counter`` differences
+    give); all reported values are microseconds, matching the repo's
+    unit convention.  A quantile reports the upper bound of the bucket
+    containing it — a ≤2× overestimate by construction, stable and
+    merge-friendly, which is the standard monitoring trade-off.
+    """
+
+    def __init__(self, bounds_us: Optional[Tuple[float, ...]] = None) -> None:
+        self._bounds = tuple(bounds_us) if bounds_us is not None else _default_bounds_us()
+        if list(self._bounds) != sorted(set(self._bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self._counts: List[int] = [0] * (len(self._bounds) + 1)  # + overflow
+        self._count = 0
+        self._sum_us = 0.0
+        self._min_us: Optional[float] = None
+        self._max_us: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        """Record one observation, given in seconds."""
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        us = seconds * 1e6
+        index = bisect_left(self._bounds, us)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum_us += us
+            self._min_us = us if self._min_us is None else min(self._min_us, us)
+            self._max_us = us if self._max_us is None else max(self._max_us, us)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        return self._count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound (µs) of the bucket holding quantile ``q`` ∈ [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return None
+            target = q * self._count
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= target and count:
+                    if index < len(self._bounds):
+                        return self._bounds[index]
+                    return self._max_us  # overflow bucket: best bound we have
+            return self._max_us
+
+    def snapshot(self) -> dict:
+        """count / mean / min / max / p50 / p95 / p99, all in µs."""
+        with self._lock:
+            count, total = self._count, self._sum_us
+            low, high = self._min_us, self._max_us
+        return {
+            "count": count,
+            "mean_us": (total / count) if count else None,
+            "min_us": low,
+            "max_us": high,
+            "p50_us": self.quantile(0.50),
+            "p95_us": self.quantile(0.95),
+            "p99_us": self.quantile(0.99),
+        }
+
+
+class ServiceMetrics:
+    """The plan service's counter/histogram bundle.
+
+    Counters
+    --------
+    ``requests`` — lines parsed into a request of any type;
+    ``plans`` — plan requests admitted; ``planned`` — unique plan
+    computations actually executed (so ``plans - planned`` duplicates
+    were absorbed by single-flight or arrived while cached);
+    ``singleflight_hits`` — requests attached to an in-flight
+    computation; ``batches`` — executor flushes; ``shed`` — requests
+    refused with ``overloaded``; ``timeouts`` — per-request deadline
+    expiries; ``errors`` — every error response sent (including shed
+    and timeouts).
+    """
+
+    def __init__(self) -> None:
+        self.requests = Counter()
+        self.plans = Counter()
+        self.planned = Counter()
+        self.singleflight_hits = Counter()
+        self.batches = Counter()
+        self.shed = Counter()
+        self.timeouts = Counter()
+        self.errors = Counter()
+        #: Server-side latency of successful plan requests.
+        self.plan_latency = LatencyHistogram()
+        self._batch_lock = threading.Lock()
+        self._batch_count = 0
+        self._batch_requests = 0
+        self._batch_max = 0
+
+    def observe_batch(self, size: int) -> None:
+        """Record one flushed batch of ``size`` unique requests."""
+        if size < 1:
+            raise ValueError(f"batch size must be >= 1, got {size}")
+        self.batches.inc()
+        with self._batch_lock:
+            self._batch_count += 1
+            self._batch_requests += size
+            self._batch_max = max(self._batch_max, size)
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serializable view of everything, cache layer included."""
+        with self._batch_lock:
+            batch = {
+                "count": self._batch_count,
+                "mean_size": (self._batch_requests / self._batch_count)
+                if self._batch_count
+                else None,
+                "max_size": self._batch_max,
+            }
+        return {
+            "counters": {
+                "requests": self.requests.value,
+                "plans": self.plans.value,
+                "planned": self.planned.value,
+                "singleflight_hits": self.singleflight_hits.value,
+                "batches": self.batches.value,
+                "shed": self.shed.value,
+                "timeouts": self.timeouts.value,
+                "errors": self.errors.value,
+            },
+            "plan_latency": self.plan_latency.snapshot(),
+            "batch": batch,
+            "cache": {
+                name: {
+                    "hits": stats.hits,
+                    "misses": stats.misses,
+                    "currsize": stats.currsize,
+                    "hit_rate": stats.hit_rate,
+                }
+                for name, stats in cache_stats().items()
+            },
+        }

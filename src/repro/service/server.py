@@ -1,0 +1,312 @@
+"""The asyncio JSON-lines front end of the plan service.
+
+Wire protocol — one JSON object per line, newline-terminated, over
+TCP.  Requests carry a ``type`` and an optional ``id`` the response
+echoes back (so clients may pipeline):
+
+* ``{"type": "plan", "id": 1, "n": 64, "m": 8, "params": {...}?}`` →
+  ``{"id": 1, "ok": true, "result": <PlanResult.to_dict()>}``
+* ``{"type": "stats"}`` → ``{"ok": true, "stats": <ServiceMetrics.snapshot()>}``
+* ``{"type": "ping"}`` → ``{"ok": true, "pong": true}``
+
+Errors come back as ``{"id": ..., "ok": false, "error": {"code": ...,
+"message": ...}}`` with codes ``bad_request``, ``overloaded``,
+``timeout``, and ``internal``.
+
+Overload policy (the load-shedding half of the ISSUE): at most
+``max_inflight`` plan requests may be in flight server-wide; the
+``max_inflight + 1``-th is *refused immediately* with ``overloaded``
+instead of queuing — bounded admission means bounded latency, and a
+client that sees ``overloaded`` can back off, while a client stuck in
+an invisible queue cannot.  ``stats``/``ping`` bypass admission so the
+service stays observable while saturated.
+
+Shutdown: :meth:`PlanServer.shutdown` stops accepting connections,
+flushes the batcher, and waits up to ``drain_timeout`` for in-flight
+requests to answer before closing sockets — SIGTERM never drops an
+admitted request on the floor (see :meth:`run_until_signal`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Optional, Set
+
+from ..params import MachineParams
+from .batching import PlanBatcher
+from .metrics import ServiceMetrics
+from .planner import PlanRequest
+
+__all__ = ["PlanServer"]
+
+#: Longest accepted request line (a plan request is tiny; anything
+#: bigger is a confused or hostile client).
+MAX_LINE_BYTES = 64 * 1024
+
+
+class _BadRequest(ValueError):
+    """Parse/validation failure with a client-facing message."""
+
+
+def _parse_plan_request(payload: dict, max_n: int) -> PlanRequest:
+    """Validate a plan payload at the wire boundary."""
+    params_raw = payload.get("params")
+    try:
+        params = (
+            MachineParams() if params_raw is None else MachineParams.from_dict(params_raw)
+        )
+        request = PlanRequest(n=payload.get("n"), m=payload.get("m"), params=params)
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(str(exc)) from exc
+    if request.n > max_n:
+        raise _BadRequest(f"n={request.n} exceeds this server's max_n={max_n}")
+    return request
+
+
+class PlanServer:
+    """A long-running multicast plan service on one TCP endpoint.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port, published on
+        :attr:`port` after :meth:`start`.
+    batcher:
+        Inject a configured :class:`~repro.service.batching.PlanBatcher`
+        (tests use this); by default one is built from ``workers``,
+        ``max_batch`` and ``max_delay``.
+    max_inflight:
+        Admission bound on concurrent plan requests; excess load is
+        shed with ``overloaded``.
+    request_timeout:
+        Per-request deadline in seconds; expiry answers ``timeout``
+        (the shared computation keeps running for other waiters).
+    drain_timeout:
+        Seconds :meth:`shutdown` waits for in-flight requests.
+    max_n:
+        Largest accepted multicast set size (plan cost grows with
+        ``n · m``; this is the request-size half of admission control).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        batcher: Optional[PlanBatcher] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        max_inflight: int = 256,
+        request_timeout: float = 5.0,
+        drain_timeout: float = 5.0,
+        max_n: int = 65536,
+        workers: int = 1,
+        max_batch: int = 64,
+        max_delay: float = 0.001,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout must be positive, got {request_timeout}")
+        if max_n < 2:
+            raise ValueError(f"max_n must be >= 2, got {max_n}")
+        self.host = host
+        self.port = port
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.batcher = (
+            batcher
+            if batcher is not None
+            else PlanBatcher(
+                max_batch=max_batch,
+                max_delay=max_delay,
+                workers=workers,
+                metrics=self.metrics,
+            )
+        )
+        if self.batcher.metrics is None:
+            self.batcher.metrics = self.metrics
+        self.max_inflight = max_inflight
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self.max_n = max_n
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._active_plans = 0
+        self._request_tasks: Set[asyncio.Task] = set()
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._draining = False
+
+    # -- lifecycle ----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block until the server is closed (e.g. by :meth:`shutdown`)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, optionally drain in-flight work, close sockets."""
+        self._draining = True
+        if self._server is not None:
+            # close() stops the accept loop; we deliberately skip
+            # wait_closed(), which (3.12+) would block on connection
+            # handlers that are parked in readline() until the client
+            # hangs up.  Closing the writers below unblocks them.
+            self._server.close()
+        if drain:
+            # Resolve parked batches first so request tasks can answer.
+            try:
+                await asyncio.wait_for(self.batcher.drain(), self.drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+            tasks = [t for t in self._request_tasks if not t.done()]
+            if tasks:
+                await asyncio.wait(tasks, timeout=self.drain_timeout)
+        for task in self._request_tasks:
+            task.cancel()
+        await self.batcher.close()
+        for writer in list(self._writers):
+            writer.close()
+
+    async def run_until_signal(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully."""
+        if self._server is None:
+            await self.start()
+        stop = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+
+        def _request_stop(signame: str) -> None:
+            if not stop.done():
+                stop.set_result(signame)
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, _request_stop, sig.name)
+        try:
+            await stop
+        finally:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+            await self.shutdown(drain=True)
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while not self._draining:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        _error(None, "bad_request", "request line too long"),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        except ConnectionError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already-broken socket
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        self.metrics.requests.inc()
+        request_id = None
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise _BadRequest("request must be a JSON object")
+            request_id = payload.get("id")
+            kind = payload.get("type")
+            if kind == "plan":
+                response = await self._handle_plan(payload, request_id)
+            elif kind == "stats":
+                response = {"id": request_id, "ok": True, "stats": self.metrics.snapshot()}
+            elif kind == "ping":
+                response = {"id": request_id, "ok": True, "pong": True}
+            else:
+                raise _BadRequest(f"unknown request type {kind!r}")
+        except _BadRequest as exc:
+            response = _error(request_id, "bad_request", str(exc))
+            self.metrics.errors.inc()
+        except json.JSONDecodeError as exc:
+            response = _error(request_id, "bad_request", f"invalid JSON: {exc}")
+            self.metrics.errors.inc()
+        except Exception as exc:  # noqa: BLE001 - the service must answer
+            response = _error(request_id, "internal", f"{type(exc).__name__}: {exc}")
+            self.metrics.errors.inc()
+        await self._write(writer, write_lock, response)
+
+    async def _handle_plan(self, payload: dict, request_id) -> dict:
+        request = _parse_plan_request(payload, self.max_n)
+        if self._active_plans >= self.max_inflight:
+            self.metrics.shed.inc()
+            self.metrics.errors.inc()
+            return _error(
+                request_id,
+                "overloaded",
+                f"server at max_inflight={self.max_inflight}; retry with backoff",
+            )
+        self.metrics.plans.inc()
+        self._active_plans += 1
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            result = await asyncio.wait_for(
+                self.batcher.submit(request), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            self.metrics.timeouts.inc()
+            self.metrics.errors.inc()
+            return _error(
+                request_id,
+                "timeout",
+                f"no answer within {self.request_timeout}s",
+            )
+        finally:
+            self._active_plans -= 1
+        self.metrics.plan_latency.record(loop.time() - started)
+        return {"id": request_id, "ok": True, "result": result.to_dict()}
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter, write_lock: asyncio.Lock, response: dict
+    ) -> None:
+        data = json.dumps(response, separators=(",", ":")).encode() + b"\n"
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except ConnectionError:  # client went away; nothing to tell it
+            pass
+
+
+def _error(request_id, code: str, message: str) -> dict:
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}

@@ -1,0 +1,98 @@
+"""The plan function against direct core computations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    build_kbinomial_tree,
+    cached_kbinomial_steps,
+    fpfs_schedule,
+    optimal_k,
+    steps_needed,
+)
+from repro.params import MachineParams
+from repro.service import PlanRequest, PlanResult, plan
+
+GRID = [(n, m) for n in (2, 3, 8, 16, 31, 64) for m in (1, 2, 8, 32)]
+
+
+class TestPlanMatchesCore:
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_k_is_theorem_3(self, n, m):
+        assert plan(PlanRequest(n=n, m=m)).k == optimal_k(n, m)
+
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_schedule_matches_exact_fpfs(self, n, m):
+        result = plan(PlanRequest(n=n, m=m))
+        tree = build_kbinomial_tree(range(n), result.k)
+        recv = fpfs_schedule(tree, m)
+        for row in result.schedule:
+            assert row.children == tree.children(row.node)
+            assert row.first_recv == recv[(row.node, 0)]
+            assert row.last_recv == recv[(row.node, m - 1)]
+            assert row.child_first_send == tuple(recv[(c, 0)] for c in row.children)
+        assert result.total_steps == max(recv.values())
+        assert result.total_steps == cached_kbinomial_steps(n, result.k, m)
+
+    @pytest.mark.parametrize("n,m", GRID)
+    def test_theorem_2_breakdown(self, n, m):
+        result = plan(PlanRequest(n=n, m=m))
+        assert result.t1 == steps_needed(n, result.k)
+        assert result.total_steps == result.t1 + result.pipeline_steps
+        # Theorem 2's (m-1)·k term: exact on full trees, an upper
+        # bound on partial ones (fan-outs never exceed k).
+        assert result.pipeline_steps <= (m - 1) * result.k
+        tree = build_kbinomial_tree(range(n), result.k)
+        assert result.root_fanout == tree.root_fanout
+
+    def test_cost_model_uses_machine_params(self):
+        params = MachineParams(t_s=10.0, t_r=20.0, t_step=2.0, t_sq=3.0)
+        result = plan(PlanRequest(n=16, m=4, params=params))
+        assert result.latency_us == pytest.approx(10.0 + result.total_steps * 2.0 + 20.0)
+        tree = build_kbinomial_tree(range(16), result.k)
+        assert result.buffer_bound_us == pytest.approx(tree.max_fanout * 3.0)
+
+    def test_multiport_shortens_schedule(self):
+        one = plan(PlanRequest(n=32, m=8, params=MachineParams(ports=1)))
+        two = plan(PlanRequest(n=32, m=8, params=MachineParams(ports=2)))
+        assert two.total_steps <= one.total_steps
+
+    def test_parent_links_consistent(self):
+        result = plan(PlanRequest(n=31, m=4))
+        rows = {row.node: row for row in result.schedule}
+        assert rows[0].parent is None
+        for row in result.schedule:
+            for child in row.children:
+                assert rows[child].parent == row.node
+
+
+class TestWireFormat:
+    def test_roundtrip_through_json(self):
+        result = plan(PlanRequest(n=24, m=6))
+        wire = json.loads(json.dumps(result.to_dict()))
+        assert PlanResult.from_dict(wire) == result
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize("n", [1, 0, -3, 2.5, "64", True, None])
+    def test_bad_n_rejected(self, n):
+        with pytest.raises(ValueError):
+            PlanRequest(n=n, m=1)
+
+    @pytest.mark.parametrize("m", [0, -1, 1.5, "8", False, None])
+    def test_bad_m_rejected(self, m):
+        with pytest.raises(ValueError):
+            PlanRequest(n=4, m=m)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            PlanRequest(n=4, m=1, params={"t_s": 1.0})
+
+    def test_requests_hash_by_value(self):
+        a = PlanRequest(n=16, m=8)
+        b = PlanRequest(n=16, m=8)
+        assert a == b and hash(a) == hash(b)
+        assert a != PlanRequest(n=16, m=8, params=MachineParams(t_sq=2.0))

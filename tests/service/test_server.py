@@ -1,0 +1,214 @@
+"""Plan server integration: real sockets, admission, drain (service tier).
+
+Everything here runs against an in-process server bound to an
+ephemeral port (``port=0``), with micro-batch windows of tens of
+milliseconds, so the whole module stays well inside the tier-1 time
+budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.params import MachineParams
+from repro.service import (
+    OverloadedError,
+    PlanClient,
+    PlanRequest,
+    PlanServer,
+    PlanServiceError,
+    plan,
+)
+
+pytestmark = pytest.mark.service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def started_server(**kwargs) -> PlanServer:
+    server = PlanServer(port=0, **kwargs)
+    await server.start()
+    return server
+
+
+class TestEndToEnd:
+    def test_hundred_concurrent_mixed_requests(self):
+        """The ISSUE's acceptance scenario, minus the overload half."""
+
+        async def body():
+            server = await started_server(workers=2, max_delay=0.01)
+            # 40 duplicates of one hot key + 60 spread over 12 keys + 20
+            # distinct: 120 concurrent requests, 33 unique.
+            mix = (
+                [(64, 8)] * 40
+                + [(n, m) for n in (8, 16, 24, 32) for m in (1, 2, 4)] * 5
+                + [(n, 5) for n in range(40, 60)]
+            )
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            results = await asyncio.gather(*[client.plan(n, m) for n, m in mix])
+            stats = await client.stats()
+            await client.close()
+            await server.shutdown()
+            return mix, results, stats
+
+        mix, results, stats = run(body())
+        assert len(results) == 120
+        for (n, m), result in zip(mix, results):
+            assert result == plan(PlanRequest(n=n, m=m))
+        counters = stats["counters"]
+        assert counters["plans"] == 120
+        # Duplicates were answered from single-flight, observably.
+        assert counters["planned"] < counters["plans"]
+        assert counters["singleflight_hits"] > 0
+        assert counters["shed"] == 0
+        assert stats["plan_latency"]["count"] == 120
+        assert stats["cache"]["plan_schedule"]["misses"] >= 1
+
+    def test_custom_params_travel_the_wire(self):
+        async def body():
+            server = await started_server()
+            params = MachineParams(t_s=1.0, t_r=2.0, t_step=1.0, t_sq=0.5, ports=2)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                result = await client.plan(32, 4, params)
+            await server.shutdown()
+            return params, result
+
+        params, result = run(body())
+        assert result == plan(PlanRequest(n=32, m=4, params=params))
+
+    def test_ping(self):
+        async def body():
+            server = await started_server()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                alive = await client.ping()
+            await server.shutdown()
+            return alive
+
+        assert run(body()) is True
+
+
+class TestAdmissionControl:
+    def test_burst_over_budget_is_shed_not_queued(self):
+        async def body():
+            # A long batch window parks admitted plans in flight, so a
+            # burst larger than max_inflight must shed the excess.
+            server = await started_server(max_inflight=4, max_delay=0.3)
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            outcomes = await asyncio.gather(
+                *[client.plan(10 + i, 2) for i in range(12)], return_exceptions=True
+            )
+            stats = await client.stats()
+            await client.close()
+            await server.shutdown()
+            return outcomes, stats
+
+        outcomes, stats = run(body())
+        shed = [o for o in outcomes if isinstance(o, OverloadedError)]
+        served = [o for o in outcomes if not isinstance(o, Exception)]
+        assert len(shed) == 8
+        assert len(served) == 4
+        for result in served:
+            assert result == plan(PlanRequest(n=result.n, m=2))
+        assert stats["counters"]["shed"] == 8
+
+    def test_oversized_n_rejected_at_the_boundary(self):
+        async def body():
+            server = await started_server(max_n=128)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                with pytest.raises(PlanServiceError) as info:
+                    await client.plan(129, 1)
+            await server.shutdown()
+            return info.value
+
+        error = run(body())
+        assert error.code == "bad_request"
+        assert "max_n" in error.message
+
+    def test_request_timeout_answers_timeout_error(self):
+        async def body():
+            server = await started_server(request_timeout=0.05, max_delay=0.3)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                with pytest.raises(PlanServiceError) as info:
+                    await client.plan(12, 2)
+            await server.shutdown()
+            return info.value
+
+        assert run(body()).code == "timeout"
+
+
+class TestBadRequests:
+    @pytest.mark.parametrize(
+        "payload,fragment",
+        [
+            ({"type": "plan", "m": 2}, "n must be"),
+            ({"type": "plan", "n": 1, "m": 2}, "n must be"),
+            ({"type": "plan", "n": 8, "m": 0}, "m must be"),
+            ({"type": "plan", "n": 8, "m": 2, "params": {"t_sq": -1}}, "t_sq"),
+            ({"type": "plan", "n": 8, "m": 2, "params": {"bogus": 1}}, "unknown params"),
+            ({"type": "frobnicate"}, "unknown request type"),
+            ({"n": 8, "m": 2}, "unknown request type"),
+        ],
+    )
+    def test_validation_failures_return_bad_request(self, payload, fragment):
+        async def body():
+            server = await started_server()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                response = await client.request(payload)
+            await server.shutdown()
+            return response
+
+        response = run(body())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert fragment in response["error"]["message"]
+
+    def test_invalid_json_line(self):
+        async def body():
+            server = await started_server()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await server.shutdown()
+            return json.loads(line)
+
+        response = run(body())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+
+class TestGracefulShutdown:
+    def test_drain_answers_inflight_requests(self):
+        async def body():
+            # Requests park in a 200 ms batch window; shutdown must
+            # flush and answer them, not drop them.
+            server = await started_server(max_delay=0.2)
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            pending = [
+                asyncio.ensure_future(client.plan(n, 3)) for n in (6, 12, 18, 24)
+            ]
+            await asyncio.sleep(0.05)  # all admitted, none answered yet
+            assert not any(task.done() for task in pending)
+            await server.shutdown(drain=True)
+            results = await asyncio.gather(*pending)
+            await client.close()
+            return results
+
+        results = run(body())
+        assert [r.n for r in results] == [6, 12, 18, 24]
+        for result in results:
+            assert result == plan(PlanRequest(n=result.n, m=3))
+
+    def test_shutdown_is_idempotent(self):
+        async def body():
+            server = await started_server()
+            await server.shutdown()
+            await server.shutdown()
+
+        run(body())

@@ -89,3 +89,24 @@ def test_decoster(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_plan_local(capsys):
+    out = run_cli(capsys, "plan", "-n", "64", "-m", "8")
+    assert "optimal multicast plan (local planner)" in out
+    assert "latency us" in out
+
+
+def test_plan_with_schedule_and_params(capsys):
+    out = run_cli(
+        capsys, "plan", "-n", "16", "-m", "4", "--t-sq", "2.5", "--ports", "2", "--schedule"
+    )
+    assert "optimal multicast plan" in out
+    assert "first/last recv" in out
+    # Every chain position gets a schedule row.
+    assert all(f"\n{node:>4}" in out or out.startswith(f"{node:>4}") for node in range(16))
+
+
+def test_plan_rejects_bad_n(capsys):
+    with pytest.raises(ValueError, match="n must be"):
+        main(["plan", "-n", "1", "-m", "2"])

@@ -56,3 +56,51 @@ def test_with_override():
 def test_frozen():
     with pytest.raises(Exception):
         PAPER_PARAMS.t_s = 1.0
+
+
+class TestMachineParams:
+    def test_defaults_project_paper_params(self):
+        from repro.params import PAPER_MACHINE
+
+        assert PAPER_MACHINE.t_s == PAPER_PARAMS.t_s
+        assert PAPER_MACHINE.t_r == PAPER_PARAMS.t_r
+        assert PAPER_MACHINE.t_step == PAPER_PARAMS.t_step
+        assert PAPER_MACHINE.ports == 1
+
+    def test_from_system_projection(self):
+        from repro.params import MachineParams
+
+        system = SystemParams(t_s=9.0, t_r=8.0)
+        machine = MachineParams.from_system(system, t_sq=2.5, ports=2)
+        assert machine.t_s == 9.0 and machine.t_r == 8.0
+        assert machine.t_step == pytest.approx(system.t_step)
+        assert machine.t_sq == 2.5 and machine.ports == 2
+
+    @pytest.mark.parametrize("field", ["t_s", "t_r", "t_step", "t_sq"])
+    @pytest.mark.parametrize("bad", [0, -1.5, "3", None, True])
+    def test_non_positive_or_non_numeric_times_rejected(self, field, bad):
+        from repro.params import MachineParams
+
+        with pytest.raises(ValueError):
+            MachineParams(**{field: bad})
+
+    @pytest.mark.parametrize("bad", [0, -2, 1.5, "2", True])
+    def test_bad_ports_rejected(self, bad):
+        from repro.params import MachineParams
+
+        with pytest.raises(ValueError):
+            MachineParams(ports=bad)
+
+    def test_dict_roundtrip_and_unknown_keys(self):
+        from repro.params import MachineParams
+
+        machine = MachineParams(t_sq=2.0, ports=4)
+        assert MachineParams.from_dict(machine.to_dict()) == machine
+        with pytest.raises(ValueError):
+            MachineParams.from_dict({"warp_factor": 9})
+
+    def test_hashable_by_value(self):
+        from repro.params import MachineParams
+
+        assert hash(MachineParams(t_sq=2.0)) == hash(MachineParams(t_sq=2.0))
+        assert MachineParams(t_sq=2.0) != MachineParams(t_sq=3.0)
