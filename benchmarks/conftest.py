@@ -14,6 +14,18 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp ``--benchmark-json`` output with this run's manifest.
+
+    A saved benchmark JSON then carries the same provenance block
+    (package version, git SHA, python, platform, argv) as sweep stores
+    and exported traces — see ``repro.obs.manifest``.
+    """
+    from repro.obs import run_manifest
+
+    output_json["manifest"] = run_manifest(extra={"kind": "benchmark"})
+
+
 @pytest.fixture
 def show(capsys):
     """Print a rendered table directly to the terminal."""

@@ -237,6 +237,7 @@ def _latency_grid(
     m_values: Sequence[int],
     trees: Sequence[str],
     workers: int,
+    tracer=None,
 ) -> Dict[Tuple[int, int, str], float]:
     """All (d, m, tree) mean latencies, fanned out over ``workers``."""
     from .sweep import run_sweep
@@ -245,6 +246,7 @@ def _latency_grid(
         partial(latency_point, config=config),
         {"d": list(dest_counts), "m": list(m_values), "tree": list(trees)},
         workers=workers,
+        tracer=tracer,
     )
     return {(p["d"], p["m"], p["tree"]): p.value for p in points}
 
@@ -254,9 +256,10 @@ def fig13a_latency_vs_m(
     dest_counts: Sequence[int] = (63, 47, 31, 15),
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
     workers: int = 1,
+    tracer=None,
 ) -> Dict[int, List[float]]:
     """Fig. 13(a): k-binomial latency vs m, one curve per dest count."""
-    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers)
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer)
     return {d: [grid[(d, m, "kbinomial")] for m in m_values] for d in dest_counts}
 
 
@@ -265,9 +268,10 @@ def fig13b_latency_vs_n(
     m_values: Sequence[int] = (8, 4, 2, 1),
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
     workers: int = 1,
+    tracer=None,
 ) -> Dict[int, List[float]]:
     """Fig. 13(b): k-binomial latency vs multicast set size, per m."""
-    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers)
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer)
     return {m: [grid[(d, m, "kbinomial")] for d in dest_counts] for m in m_values}
 
 
@@ -276,9 +280,10 @@ def fig14a_comparison_vs_m(
     dest_counts: Sequence[int] = (47, 15),
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
     workers: int = 1,
+    tracer=None,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(a): binomial vs optimal k-binomial latency vs m."""
-    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers)
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer)
     return {
         d: {
             tree: [grid[(d, m, tree)] for m in m_values]
@@ -293,9 +298,10 @@ def fig14b_comparison_vs_n(
     m_values: Sequence[int] = (8, 2),
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
     workers: int = 1,
+    tracer=None,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(b): binomial vs optimal k-binomial latency vs set size."""
-    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers)
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer)
     return {
         m: {
             tree: [grid[(d, m, tree)] for d in dest_counts]

@@ -36,6 +36,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..obs.tracer import Tracer
+
 __all__ = [
     "SweepPoint",
     "SweepStore",
@@ -69,6 +71,11 @@ class SweepStore:
     The file is rewritten atomically on :meth:`flush`; delete it to
     invalidate (stored values are pure functions of their params, so
     the only reason is a changed measure function).
+
+    Every flush stamps the file with a run manifest
+    (:func:`repro.obs.run_manifest`: package version, git SHA,
+    timestamps), so a stored grid records what produced it.  Readers
+    ignore the manifest — only ``records`` is consulted.
     """
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
@@ -113,10 +120,17 @@ class SweepStore:
         self._records[self.key_for(params)] = value
 
     def flush(self) -> None:
-        """Atomically persist all records to :attr:`path`."""
+        """Atomically persist all records (plus a run manifest) to :attr:`path`."""
+        from ..obs.manifest import run_manifest
+
         tmp = f"{self.path}.tmp"
+        payload = {
+            "version": 1,
+            "manifest": run_manifest(extra={"points": len(self._records)}),
+            "records": self._records,
+        }
         with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump({"version": 1, "records": self._records}, fh)
+            json.dump(payload, fh)
         os.replace(tmp, self.path)
 
     def __len__(self) -> int:
@@ -175,6 +189,7 @@ def run_sweep(
     chunk_size: Optional[int] = None,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
     store: Union[None, str, os.PathLike, SweepStore] = None,
+    tracer: Optional[Tracer] = None,
 ) -> List[SweepPoint]:
     """Evaluate ``measure(**point)`` over the cross product of ``grids``.
 
@@ -200,6 +215,11 @@ def run_sweep(
     store:
         A path or :class:`SweepStore`: previously stored points are
         returned without measuring, newly measured points are persisted.
+    tracer:
+        A wall-clock :class:`repro.obs.Tracer`: records one span per
+        worker chunk (parallel; submit → result, as observed from the
+        parent) or per point (serial), so sweep latency opens in
+        Perfetto next to everything else.
 
     Returns
     -------
@@ -227,20 +247,36 @@ def run_sweep(
                 continue
         pending.append((index, params))
 
+    obs = tracer if tracer is not None and tracer.enabled else None
     if pending:
         if workers > 1 and _is_picklable(measure):
             size = chunk_size or max(1, -(-len(pending) // (workers * 4)))
             chunks = [pending[i : i + size] for i in range(0, len(pending), size)]
             with ProcessPoolExecutor(max_workers=workers) as pool:
+                submitted = obs.now() if obs else 0.0
                 futures = [pool.submit(_measure_chunk, measure, chunk) for chunk in chunks]
                 # Collect in submission order — completion order never
                 # leaks into the result, so the merge is deterministic.
-                for future in futures:
+                for chunk_index, future in enumerate(futures):
                     for index, value in future.result():
                         results[index] = value
+                    if obs:
+                        obs.complete(
+                            f"chunk {chunk_index}",
+                            obs.track("sweep", f"chunk {chunk_index}"),
+                            submitted,
+                            cat="sweep",
+                            args={"points": len(chunks[chunk_index])},
+                        )
         else:
+            if obs:
+                track = obs.track("sweep", "serial")
             for index, params in pending:
-                results[index] = measure(**params)
+                if obs:
+                    with obs.span("point", track, cat="sweep", args=dict(params)):
+                        results[index] = measure(**params)
+                else:
+                    results[index] = measure(**params)
         if store is not None:
             for index, params in pending:
                 store.put(params, results[index])

@@ -12,10 +12,17 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast optimal-k -n 64 -m 8
     repro-mcast tree -n 16 -k 3     # draw the Fig. 11 construction
     repro-mcast simulate --dests 15 --bytes 512 [--tree binomial] [--ni fcfs]
+    repro-mcast trace --dests 15 --bytes 512 --out trace.json   # Perfetto trace
     repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
     repro-mcast decoster --bytes 4096
     repro-mcast serve --port 7017 --workers 2       # plan service
     repro-mcast plan -n 64 -m 8 [--connect HOST:PORT] [--schedule]
+
+Observability flags (see docs/ARCHITECTURE.md "Observability"):
+``--trace-out PATH`` on ``simulate``/``fig13*``/``fig14*``/``serve``
+writes a Chrome trace-event JSON (open in https://ui.perfetto.dev);
+``--stats`` prints the unified metrics snapshot (service counters,
+cache hit rates, sim buffer gauges) after the command runs.
 """
 
 from __future__ import annotations
@@ -66,6 +73,35 @@ def _maybe_csv(args, x_label, x_values, series) -> None:
         print(f"wrote {written}")
 
 
+def _maybe_tracer(args):
+    """A wall-clock tracer when ``--trace-out`` was given, else None."""
+    if getattr(args, "trace_out", None):
+        from .obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _finish_trace(args, tracer, seed=None, params=None) -> None:
+    """Write the recorded trace (with its manifest) and say where."""
+    if tracer is None:
+        return
+    from .obs import run_manifest, write_chrome_trace
+
+    manifest = run_manifest(params=params, seed=seed, extra={"command": args.command})
+    print(f"wrote {write_chrome_trace(args.trace_out, tracer, manifest)}")
+
+
+def _maybe_stats(args) -> None:
+    """Print the unified metrics snapshot when ``--stats`` was given."""
+    if getattr(args, "stats", False):
+        import json as _json
+
+        from .obs import GLOBAL_METRICS
+
+        print(_json.dumps(GLOBAL_METRICS.snapshot(), indent=2, sort_keys=True))
+
+
 def _cmd_fig12a(args) -> None:
     m_values = tuple(range(1, args.max_m + 1))
     data = fig12a_optimal_k(m_values=m_values)
@@ -96,7 +132,8 @@ def _cmd_fig12b(args) -> None:
 
 def _cmd_fig13a(args) -> None:
     config = _config(args)
-    data = fig13a_latency_vs_m(config, workers=args.workers)
+    tracer = _maybe_tracer(args)
+    data = fig13a_latency_vs_m(config, workers=args.workers, tracer=tracer)
     m_values = (1, 2, 4, 8, 16, 24, 32)
     series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
     print(
@@ -108,11 +145,13 @@ def _cmd_fig13a(args) -> None:
         )
     )
     _maybe_csv(args, "m", list(m_values), series)
+    _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig13b(args) -> None:
     config = _config(args)
-    data = fig13b_latency_vs_n(config, workers=args.workers)
+    tracer = _maybe_tracer(args)
+    data = fig13b_latency_vs_n(config, workers=args.workers, tracer=tracer)
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     print(
         render_series(
@@ -122,11 +161,13 @@ def _cmd_fig13b(args) -> None:
             title="Fig. 13(b): k-binomial latency (us) vs set size",
         )
     )
+    _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig14a(args) -> None:
     config = _config(args)
-    data = fig14a_comparison_vs_m(config, workers=args.workers)
+    tracer = _maybe_tracer(args)
+    data = fig14a_comparison_vs_m(config, workers=args.workers, tracer=tracer)
     m_values = (1, 2, 4, 8, 16, 24, 32)
     for d, curves in data.items():
         print(
@@ -139,11 +180,13 @@ def _cmd_fig14a(args) -> None:
             )
         )
         print()
+    _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig14b(args) -> None:
     config = _config(args)
-    data = fig14b_comparison_vs_n(config, workers=args.workers)
+    tracer = _maybe_tracer(args)
+    data = fig14b_comparison_vs_n(config, workers=args.workers, tracer=tracer)
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     for m, curves in data.items():
         print(
@@ -156,6 +199,7 @@ def _cmd_fig14b(args) -> None:
             )
         )
         print()
+    _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_optimal_k(args) -> None:
@@ -177,12 +221,14 @@ def _cmd_tree(args) -> None:
 
 
 def _cmd_simulate(args) -> None:
+    tracer = _maybe_tracer(args)
     machine = Machine.irregular(
         seed=args.seed,
         ni=args.ni,
         ordering=args.ordering,
         ni_ports=args.ports,
         channel_model=args.channel_model,
+        tracer=tracer,
     )
     rng = random.Random(args.seed + 1)
     picked = rng.sample(list(machine.hosts), args.dests + 1)
@@ -205,6 +251,57 @@ def _cmd_simulate(args) -> None:
             title="multicast on a 64-host irregular network",
         )
     )
+    _finish_trace(
+        args,
+        tracer,
+        seed=args.seed,
+        params={"dests": args.dests, "bytes": args.bytes, "tree": str(args.tree), "ni": args.ni},
+    )
+    _maybe_stats(args)
+
+
+def _cmd_trace(args) -> None:
+    """Run one multicast with tracing on and dump a Perfetto-loadable file."""
+    from .obs import Tracer, run_manifest, trace_summary, write_chrome_trace, write_jsonl
+
+    tracer = Tracer()
+    machine = Machine.irregular(
+        seed=args.seed,
+        ni=args.ni,
+        ordering=args.ordering,
+        tracer=tracer,
+    )
+    rng = random.Random(args.seed + 1)
+    picked = rng.sample(list(machine.hosts), args.dests + 1)
+    result = machine.multicast(picked[0], picked[1:], args.bytes, tree=args.tree)
+    m = machine.packets_for(args.bytes)
+    print(
+        render_table(
+            ["dests", "bytes", "packets", "NI", "latency us", "peak buf"],
+            [
+                [
+                    args.dests,
+                    args.bytes,
+                    m,
+                    args.ni,
+                    round(result.latency, 1),
+                    result.max_intermediate_buffer,
+                ]
+            ],
+            title="traced multicast on a 64-host irregular network",
+        )
+    )
+    print(trace_summary(tracer))
+    manifest = run_manifest(
+        params={"dests": args.dests, "bytes": args.bytes, "tree": str(args.tree), "ni": args.ni},
+        seed=args.seed,
+        extra={"command": "trace"},
+    )
+    if args.format == "jsonl":
+        print(f"wrote {write_jsonl(args.out, tracer)}")
+    else:
+        print(f"wrote {write_chrome_trace(args.out, tracer, manifest)}")
+    _maybe_stats(args)
 
 
 def _cmd_reliable(args) -> None:
@@ -280,6 +377,7 @@ def _cmd_serve(args) -> None:
 
     from .service import PlanServer
 
+    tracer = _maybe_tracer(args)
     server = PlanServer(
         host=args.host,
         port=args.port,
@@ -289,6 +387,7 @@ def _cmd_serve(args) -> None:
         max_delay=args.max_delay,
         request_timeout=args.timeout,
         max_n=args.max_n,
+        tracer=tracer,
     )
 
     async def _run() -> None:
@@ -300,6 +399,8 @@ def _cmd_serve(args) -> None:
 
     asyncio.run(_run())
     print("plan service drained and stopped")
+    _finish_trace(args, tracer)
+    _maybe_stats(args)
 
 
 def _cmd_plan(args) -> None:
@@ -365,6 +466,10 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=1,
             help="processes for the sweep grid (1 = serial)",
         )
+        p.add_argument(
+            "--trace-out", dest="trace_out", default=None, metavar="PATH",
+            help="write a Chrome trace of the sweep (open in Perfetto)",
+        )
 
     p = sub.add_parser("fig12a", help="optimal k vs packets (analytic)")
     p.add_argument("--max-m", type=int, default=35)
@@ -407,7 +512,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="wormhole occupancy model",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome trace of the run (open in Perfetto)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after the run",
+    )
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("trace", help="traced multicast -> Perfetto-loadable JSON")
+    p.add_argument("--dests", type=int, default=15)
+    p.add_argument("--bytes", type=int, default=512)
+    p.add_argument("--tree", default="optimal", help="optimal|binomial|linear|flat|<k>")
+    p.add_argument("--ni", default="fpfs", choices=["fpfs", "fcfs", "conventional"])
+    p.add_argument("--ordering", default="cco", choices=["cco", "poc", "random"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="trace.json", help="output path (default trace.json)")
+    p.add_argument(
+        "--format", default="chrome", choices=["chrome", "jsonl"],
+        help="chrome = Perfetto-loadable JSON object; jsonl = one event per line",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after the run",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("reliable", help="reliable multicast over lossy links")
     p.add_argument("--loss", type=float, default=0.05, help="packet loss probability")
@@ -437,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay", type=float, default=0.001, help="micro-batch window s")
     p.add_argument("--timeout", type=float, default=5.0, help="per-request deadline s")
     p.add_argument("--max-n", type=int, default=65536, help="largest accepted n")
+    p.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome trace of handled requests on shutdown",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after shutdown",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("plan", help="one plan query (local, or --connect to a server)")

@@ -74,6 +74,7 @@ class Machine:
         ni_ports: int = 1,
         send_policy: str = "fifo",
         channel_model: str = "path",
+        tracer=None,
     ) -> None:
         if ni not in _NI_CLASSES:
             raise ValueError(f"unknown NI discipline {ni!r}; choose from {sorted(_NI_CLASSES)}")
@@ -90,6 +91,7 @@ class Machine:
             ni_ports=ni_ports,
             send_policy=send_policy,
             channel_model=channel_model,
+            tracer=tracer,
         )
 
     # -- constructors ---------------------------------------------------------

@@ -30,6 +30,8 @@ from ..network.topology import Node, Topology
 from ..nic.fpfs import FPFSInterface
 from ..nic.interface import NetworkInterface, NICRegistry
 from ..nic.packets import Message
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.tracer import Tracer
 from ..params import PAPER_PARAMS, SystemParams
 from ..sim import Environment, Trace
 
@@ -97,6 +99,12 @@ class MulticastSimulator:
     collect_trace:
         Keep a full packet-event :class:`~repro.sim.Trace` on each
         result (costs memory; off by default).
+    tracer:
+        A :class:`repro.obs.Tracer` span sink.  Each run rebinds its
+        clock to the fresh environment's simulated time, so NI
+        send/recv/inject spans land on the DES timeline (export with
+        :func:`repro.obs.write_chrome_trace` and open in Perfetto).
+        ``None`` (default) disables span emission entirely.
     """
 
     def __init__(
@@ -110,6 +118,7 @@ class MulticastSimulator:
         send_policy: str = "fifo",
         ni_ports: int = 1,
         channel_model: str = "path",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         from ..nic.scheduling import SEND_POLICIES
 
@@ -145,10 +154,15 @@ class MulticastSimulator:
         for h, factor in self.host_speed.items():
             if factor <= 0:
                 raise ValueError(f"host_speed[{h!r}] must be positive, got {factor}")
+        #: Span sink shared by every NI of every run (None = no spans).
+        self.tracer = tracer
         #: Trace of the most recent run (None unless collect_trace).
         self.last_trace: Optional[Trace] = None
         #: NI registry of the most recent run (post-mortem inspection).
         self.last_registry: Optional[NICRegistry] = None
+        #: Buffer-level gauges of the most recent run (also published
+        #: to ``repro.obs.GLOBAL_METRICS`` under ``"sim"``).
+        self.last_gauges: Dict[str, float] = {}
 
     def _make_pool(self, env: Environment) -> ChannelPool:
         """Channel pool factory (hook for lossy/instrumented pools)."""
@@ -196,6 +210,10 @@ class MulticastSimulator:
 
         env = Environment()
         trace = Trace(env, enabled=self.collect_trace)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # Spans of this run read the fresh environment's clock.
+            tracer.set_clock(lambda: env.now)
         pool = self._make_pool(env)
         registry = NICRegistry()
         for h in self.topology.hosts:
@@ -210,6 +228,7 @@ class MulticastSimulator:
                 send_queue_cls=self._send_queue_cls,
                 ports=self.ni_ports,
                 channel_model=self.channel_model,
+                tracer=tracer,
             )
 
         messages = []
@@ -241,7 +260,29 @@ class MulticastSimulator:
 
         self.last_trace = trace if self.collect_trace else None
         self.last_registry = registry
+        self._publish_gauges(registry)
         return [self._collect(registry, pool, message, trace) for message in messages]
+
+    def _publish_gauges(self, registry: NICRegistry) -> None:
+        """Close every NI buffer monitor and publish run-level gauges.
+
+        The gauges land in :data:`repro.obs.GLOBAL_METRICS` under
+        ``"sim"`` so one ``snapshot()`` call sees simulation buffer
+        levels next to service counters and cache hit rates.
+        """
+        peaks = []
+        averages = []
+        for ni in registry:
+            monitor = ni.forward_buffer
+            monitor.finalize()
+            peaks.append(monitor.peak)
+            averages.append(monitor.time_average)
+        self.last_gauges = {
+            "ni_buffer_peak": max(peaks, default=0),
+            "ni_buffer_avg": (sum(averages) / len(averages)) if averages else 0.0,
+            "hosts": len(peaks),
+        }
+        GLOBAL_METRICS.set_gauges("sim", self.last_gauges)
 
     def _collect(
         self, registry: NICRegistry, pool: ChannelPool, message: Message, trace: Trace

@@ -38,7 +38,8 @@ class ConventionalInterface(NetworkInterface):
         msg = packet.message
         arrived = self._host_memory.setdefault(msg.msg_id, [])
         arrived.append(packet)
-        self.trace.log("host_recv", host=self.host, msg=msg.msg_id, pkt=packet.index)
+        if self.trace.enabled:
+            self.trace.log("host_recv", host=self.host, msg=msg.msg_id, pkt=packet.index)
         children = self.forwarding.get(msg.msg_id, ())
         if children and len(arrived) == msg.num_packets:
             self.env.process(
@@ -48,6 +49,7 @@ class ConventionalInterface(NetworkInterface):
 
     def _host_forward(self, message: Message, packets: List[Packet], children: tuple):
         """Host-level store-and-forward to each child in turn."""
+        start = self.env.now if self.tracer.enabled else 0.0
         # Software overhead to receive/process the complete message.
         yield self.env.timeout(self.params.t_r)
         for child in children:
@@ -56,16 +58,41 @@ class ConventionalInterface(NetworkInterface):
             yield self.env.timeout(self.params.t_s)
             for packet in packets:
                 yield self.env.timeout(self.params.t_dma)
+                if self.trace.enabled:
+                    self._log_forward(packet, (child,))
                 self.send_queue.put(SendJob(packet, child))
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "host forward",
+                self.obs_track,
+                start,
+                self.env.now,
+                cat="ni",
+                args={"msg": message.msg_id, "children": len(children)},
+            )
 
     def inject_multicast(self, tree: MulticastTree, message: Message):
         """Source side: one full host send per child of the root."""
         if tree.root != self.host:
             raise ValueError(f"{self.host!r} is not the root of the tree")
+        start = self.env.now if self.tracer.enabled else 0.0
+        if self.trace.enabled:
+            self.trace.log(
+                "inject", host=self.host, msg=message.msg_id, m=message.num_packets
+            )
         packets = packetize(message)
         for child in tree.children(self.host):
             yield self.env.timeout(self.params.t_s)
             for packet in packets:
                 yield self.env.timeout(self.params.t_dma)
                 self.send_queue.put(SendJob(packet, child))
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "inject",
+                self.obs_track,
+                start,
+                self.env.now,
+                cat="ni",
+                args={"msg": message.msg_id, "m": message.num_packets},
+            )
         return message

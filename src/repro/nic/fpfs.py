@@ -35,9 +35,23 @@ class FPFSInterface(NetworkInterface):
         """
         if tree.root != self.host:
             raise ValueError(f"{self.host!r} is not the root of the tree")
+        start = self.env.now if self.tracer.enabled else 0.0
+        if self.trace.enabled:
+            self.trace.log(
+                "inject", host=self.host, msg=message.msg_id, m=message.num_packets
+            )
         # Host software start-up: one t_s to move the message to NI memory.
         yield self.env.timeout(self.params.t_s)
         children = tree.children(self.host)
         for packet in packetize(message):
             self._enqueue_copies(packet, children)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "inject",
+                self.obs_track,
+                start,
+                self.env.now,
+                cat="ni",
+                args={"msg": message.msg_id, "m": message.num_packets},
+            )
         return message

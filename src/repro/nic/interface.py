@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 from ..network.links import ChannelPool
 from ..network.topology import Node
 from ..network.wormhole import transmit
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..params import SystemParams
 from ..sim import Environment, LevelMonitor, Store, Trace
 from .packets import Packet
@@ -108,6 +109,7 @@ class NetworkInterface:
         send_queue_cls: type = Store,
         ports: int = 1,
         channel_model: str = "path",
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if ports < 1:
             raise ValueError(f"ports must be >= 1, got {ports}")
@@ -124,6 +126,13 @@ class NetworkInterface:
         self.params = params
         self.ports = ports
         self.trace = trace if trace is not None else Trace(env, enabled=False)
+        #: Span sink (repro.obs); the shared disabled singleton when
+        #: tracing is off, so hot paths test one attribute.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            self.obs_track = self.tracer.track("sim", f"NI {host}")
+        else:
+            self.obs_track = None
         self.send_queue = send_queue_cls(env)
         self.recv_queue: Store = Store(env)
         #: Packets held for forwarding/replication at this NI.
@@ -145,16 +154,31 @@ class NetworkInterface:
     def _send_engine(self):
         while True:
             job: SendJob = yield self.send_queue.get()
+            start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_ns)
             route = self.router.route(self.host, job.destination)
             yield from self._transmit(self.env, self.pool, route, self.params)
-            self.trace.log(
-                "ni_send",
-                src=self.host,
-                dst=job.destination,
-                msg=job.packet.message.msg_id,
-                pkt=job.packet.index,
-            )
+            if self.trace.enabled:
+                self.trace.log(
+                    "ni_send",
+                    src=self.host,
+                    dst=job.destination,
+                    msg=job.packet.message.msg_id,
+                    pkt=job.packet.index,
+                )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "send",
+                    self.obs_track,
+                    start,
+                    self.env.now,
+                    cat="ni",
+                    args={
+                        "dst": str(job.destination),
+                        "msg": job.packet.message.msg_id,
+                        "pkt": job.packet.index,
+                    },
+                )
             if job.on_sent is not None:
                 job.on_sent()
             self.registry.lookup(job.destination).recv_queue.put(job.packet)
@@ -162,14 +186,31 @@ class NetworkInterface:
     def _recv_engine(self):
         while True:
             packet: Packet = yield self.recv_queue.get()
+            start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_nr)
             key = (packet.message.msg_id, packet.index)
             if key in self.received_at:
                 raise RuntimeError(f"duplicate delivery of {packet!r} at {self.host!r}")
             self.received_at[key] = self.env.now
-            self.trace.log(
-                "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index
-            )
+            if self.trace.enabled:
+                self.trace.log(
+                    "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index
+                )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "recv",
+                    self.obs_track,
+                    start,
+                    self.env.now,
+                    cat="ni",
+                    args={"msg": packet.message.msg_id, "pkt": packet.index},
+                )
+                self.tracer.instant(
+                    "deliver",
+                    self.obs_track,
+                    cat="ni",
+                    args={"msg": packet.message.msg_id, "pkt": packet.index},
+                )
             self.on_packet(packet)
 
     # -- discipline hooks -----------------------------------------------------
@@ -187,11 +228,38 @@ class NetworkInterface:
         raise NotImplementedError
 
     # -- helpers -------------------------------------------------------------
+    def _log_forward(self, packet: Packet, children: tuple) -> None:
+        """Unified forwarding vocabulary: one ``ni_forward`` per fan-out.
+
+        Every discipline (FCFS, FPFS, conventional, reliable) announces
+        "this packet's copies are now queued for these children" through
+        the same record, so buffer/timeline claims compare like for
+        like.  Callers guard on ``trace.enabled``/``tracer.enabled``.
+        """
+        self.trace.log(
+            "ni_forward",
+            host=self.host,
+            msg=packet.message.msg_id,
+            pkt=packet.index,
+            children=len(children),
+        )
+
+    def _log_buffer_level(self) -> None:
+        """Unified ``ni_buffer`` sample of the forwarding-buffer level."""
+        self.trace.log("ni_buffer", host=self.host, level=self.forward_buffer.level)
+        if self.tracer.enabled:
+            self.tracer.counter(
+                f"buffer {self.host}", self.obs_track, self.forward_buffer.level
+            )
+
     def _enqueue_copies(self, packet: Packet, children: tuple) -> None:
         """Queue one send per child, holding the buffer until the last copy."""
         if not children:
             return
         self.forward_buffer.change(+1)
+        if self.trace.enabled or self.tracer.enabled:
+            self._log_forward(packet, children)
+            self._log_buffer_level()
         remaining = len(children)
 
         def one_sent() -> None:
@@ -199,6 +267,8 @@ class NetworkInterface:
             remaining -= 1
             if remaining == 0:
                 self.forward_buffer.change(-1)
+                if self.trace.enabled or self.tracer.enabled:
+                    self._log_buffer_level()
 
         for child in children:
             self.send_queue.put(SendJob(packet, child, on_sent=one_sent))

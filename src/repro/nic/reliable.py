@@ -106,16 +106,30 @@ class ReliableFPFSInterface(FPFSInterface):
         """As the base engine, but applies the pool's loss draw."""
         while True:
             job: SendJob = yield self.send_queue.get()
+            start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_ns)
             route = self.router.route(self.host, job.destination)
             yield from self._transmit(self.env, self.pool, route, self.params)
-            self.trace.log(
-                "ni_send",
-                src=self.host,
-                dst=job.destination,
-                msg=getattr(job.packet, "message", None) and job.packet.message.msg_id,
-                pkt=getattr(job.packet, "index", None),
-            )
+            if self.trace.enabled:
+                self.trace.log(
+                    "ni_send",
+                    src=self.host,
+                    dst=job.destination,
+                    msg=getattr(job.packet, "message", None) and job.packet.message.msg_id,
+                    pkt=getattr(job.packet, "index", None),
+                )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "send",
+                    self.obs_track,
+                    start,
+                    self.env.now,
+                    cat="ni",
+                    args={
+                        "dst": str(job.destination),
+                        "pkt": getattr(job.packet, "index", None),
+                    },
+                )
             if job.on_sent is not None:
                 job.on_sent()
             dropped = isinstance(self.pool, LossyChannelPool) and self.pool.should_drop(
@@ -128,6 +142,7 @@ class ReliableFPFSInterface(FPFSInterface):
     def _recv_engine(self):
         while True:
             payload = yield self.recv_queue.get()
+            start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_nr)
             if isinstance(payload, Nack):
                 self._handle_nack(payload)
@@ -138,9 +153,19 @@ class ReliableFPFSInterface(FPFSInterface):
                 # Duplicate from a retransmission race: drop silently.
                 continue
             self.received_at[key] = self.env.now
-            self.trace.log(
-                "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index
-            )
+            if self.trace.enabled:
+                self.trace.log(
+                    "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index
+                )
+            if self.tracer.enabled:
+                self.tracer.complete(
+                    "recv",
+                    self.obs_track,
+                    start,
+                    self.env.now,
+                    cat="ni",
+                    args={"msg": packet.message.msg_id, "pkt": packet.index},
+                )
             self._retain[key] = packet
             self._expected.setdefault(packet.message.msg_id, packet.message)
             self._check_gap(packet)
@@ -214,11 +239,26 @@ class ReliableFPFSInterface(FPFSInterface):
 
     def _send_nack(self, msg_id: int, indices: Tuple[int, ...]) -> None:
         parent = self._parent_of(msg_id)
-        self.trace.log("nack", host=self.host, msg=msg_id, indices=indices)
+        if self.trace.enabled:
+            self.trace.log("nack", host=self.host, msg=msg_id, indices=indices)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "nack", self.obs_track, cat="ni", args={"msg": msg_id, "n": len(indices)}
+            )
         self.send_queue.put(SendJob(Nack(msg_id, indices, self.host), parent))
 
     def _handle_nack(self, nack: Nack) -> None:
-        self.trace.log("retransmit", host=self.host, msg=nack.msg_id, indices=nack.indices)
+        if self.trace.enabled:
+            self.trace.log(
+                "retransmit", host=self.host, msg=nack.msg_id, indices=nack.indices
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "retransmit",
+                self.obs_track,
+                cat="ni",
+                args={"msg": nack.msg_id, "n": len(nack.indices)},
+            )
         for index in nack.indices:
             packet = self._retain.get((nack.msg_id, index))
             if packet is None:

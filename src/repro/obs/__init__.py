@@ -1,0 +1,56 @@
+"""Unified telemetry: spans, exporters, metrics, and run manifests.
+
+Every layer of the system measures itself through this package:
+
+* :mod:`repro.obs.tracer` — the span/event API.  A :class:`Tracer`
+  records complete spans, instant events, and counter samples on named
+  (process, thread) tracks against a pluggable clock, so the same API
+  covers *simulated* time (the DES packet lifecycle — the multicast
+  simulator points the clock at ``env.now``) and *wall-clock* time
+  (sweep chunks, service requests).
+* :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (opens
+  directly in Perfetto / ``chrome://tracing``), JSON-lines, and a
+  console summary.
+* :mod:`repro.obs.metrics` — a registry that unifies the plan
+  service's counters/histograms, the :mod:`repro.core.cache` hit
+  rates, and sim-side gauges (NI buffer levels) behind one
+  :func:`~repro.obs.metrics.MetricsRegistry.snapshot` call.
+* :mod:`repro.obs.manifest` — run manifests (params, seed, package
+  version, git SHA, timestamps) attached to sweep stores, benchmark
+  JSON, and exported traces so every number is reproducible from its
+  artifact.
+
+Tracing is zero-cost when disabled: emission sites guard on
+``tracer.enabled`` before building any arguments, and the shared
+:data:`NULL_TRACER` singleton makes "no tracer" a cheap attribute
+check rather than a ``None`` test in hot loops.
+"""
+
+from .export import (
+    to_chrome,
+    to_jsonl,
+    trace_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .manifest import git_sha, run_manifest
+from .metrics import GLOBAL_METRICS, MetricsRegistry
+from .tracer import NULL_TRACER, Span, TraceEvent, Tracer, Track, wall_clock_us
+
+__all__ = [
+    "GLOBAL_METRICS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "Track",
+    "git_sha",
+    "run_manifest",
+    "to_chrome",
+    "to_jsonl",
+    "trace_summary",
+    "wall_clock_us",
+    "write_chrome_trace",
+    "write_jsonl",
+]

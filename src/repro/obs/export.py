@@ -1,0 +1,138 @@
+"""Exporters: Chrome trace-event JSON, JSON-lines, console summary.
+
+The Chrome trace-event format is the interchange target: the exported
+file opens directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  We emit the JSON-object form — ``{"traceEvents":
+[...], "metadata": {...}}`` — with the run manifest in ``metadata`` so
+a trace file carries its own provenance.
+
+JSON-lines is the streaming-friendly alternative (one event object per
+line) for ad-hoc ``jq``/pandas analysis, and :func:`trace_summary`
+renders a per-track/per-name digest for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "to_chrome",
+    "to_jsonl",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+EventSource = Union[Tracer, Iterable[TraceEvent]]
+
+
+def _events(source: EventSource) -> List[TraceEvent]:
+    return list(source.events if isinstance(source, Tracer) else source)
+
+
+def _event_dict(event: TraceEvent) -> dict:
+    out = {
+        "ph": event.ph,
+        "name": event.name,
+        "cat": event.cat,
+        "ts": event.ts,
+        "pid": event.pid,
+        "tid": event.tid,
+    }
+    if event.dur is not None:
+        out["dur"] = event.dur
+    if event.args is not None:
+        out["args"] = event.args
+    return out
+
+
+def to_chrome(source: EventSource, manifest: Optional[dict] = None) -> dict:
+    """The Chrome trace-event JSON object for ``source``.
+
+    ``manifest`` (see :func:`repro.obs.manifest.run_manifest`) lands in
+    the top-level ``metadata`` field, which Perfetto preserves but does
+    not interpret — the trace stays self-describing.
+
+    Events come out time-sorted per the file (metadata first): a
+    complete span is *recorded* at its end but *timestamped* at its
+    start, so raw buffer order is not timeline order.  Sorting here
+    keeps the export deterministic and viewers simple.
+    """
+    events = _events(source)
+    meta = [e for e in events if e.ph == "M"]
+    rest = sorted((e for e in events if e.ph != "M"), key=lambda e: e.ts)
+    return {
+        "traceEvents": [_event_dict(e) for e in meta + rest],
+        "displayTimeUnit": "ms",
+        "metadata": manifest if manifest is not None else {},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, os.PathLike], source: EventSource, manifest: Optional[dict] = None
+) -> str:
+    """Write ``source`` as Chrome trace JSON; returns the path written."""
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as fh:
+        # default=repr: span args may carry arbitrary objects (host
+        # nodes, params); a trace export must never fail on them.
+        json.dump(to_chrome(source, manifest), fh, default=repr)
+    return path
+
+
+def to_jsonl(source: EventSource) -> str:
+    """The events of ``source`` as JSON-lines (one object per line)."""
+    return "\n".join(
+        json.dumps(_event_dict(e), separators=(",", ":"), default=repr)
+        for e in _events(source)
+    )
+
+
+def write_jsonl(path: Union[str, os.PathLike], source: EventSource) -> str:
+    """Write ``source`` as JSON-lines; returns the path written."""
+    path = os.fspath(path)
+    text = to_jsonl(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        if text:
+            fh.write("\n")
+    return path
+
+
+def trace_summary(source: EventSource) -> str:
+    """A terminal digest: per (category, name) counts and span time.
+
+    One line per distinct ``cat/name``: event count, total and mean
+    span duration (µs) for complete events; counts alone for instants
+    and counters.  Metadata events are folded into the track count.
+    """
+    events = _events(source)
+    spans: Dict[Tuple[str, str], List[float]] = {}
+    counts: Dict[Tuple[str, str], int] = {}
+    tracks = set()
+    for event in events:
+        if event.ph == "M":
+            tracks.add((event.pid, event.tid))
+            continue
+        key = (event.cat, event.name)
+        counts[key] = counts.get(key, 0) + 1
+        if event.ph == "X" and event.dur is not None:
+            spans.setdefault(key, []).append(event.dur)
+    lines = [
+        f"trace: {sum(counts.values())} events on {len(tracks)} tracks"
+    ]
+    for (cat, name), n in sorted(counts.items()):
+        durs = spans.get((cat, name))
+        if durs:
+            total = sum(durs)
+            lines.append(
+                f"  {cat}/{name}: {n} spans, total {total:.1f} us, "
+                f"mean {total / len(durs):.2f} us"
+            )
+        else:
+            lines.append(f"  {cat}/{name}: {n} events")
+    return "\n".join(lines)

@@ -1,0 +1,96 @@
+"""One metrics registry across service, cache, and simulation layers.
+
+A :class:`MetricsRegistry` maps names to *providers* — zero-argument
+callables returning a JSON-serializable dict — and merges them into
+one snapshot.  The process-wide :data:`GLOBAL_METRICS` registry ships
+with the :mod:`repro.core.cache` hit/miss counters pre-registered;
+the plan service's :class:`~repro.service.metrics.ServiceMetrics`
+registers itself under ``"service"`` on construction, and the
+multicast simulator publishes sim-side gauges (peak/average NI buffer
+level from each run's :class:`~repro.sim.monitor.LevelMonitor`\\ s)
+under ``"sim"`` — so ``GLOBAL_METRICS.snapshot()`` is the one call
+that sees every layer.
+
+Registration is last-writer-wins by name (a fresh server or simulator
+replaces its predecessor's provider), and a provider that raises is
+reported as an ``{"error": ...}`` entry rather than poisoning the
+whole snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Mapping
+
+from ..core.cache import cache_stats
+
+__all__ = ["GLOBAL_METRICS", "MetricsRegistry", "cache_snapshot"]
+
+
+def cache_snapshot() -> Dict[str, dict]:
+    """The :func:`repro.core.cache.cache_stats` registry as plain dicts."""
+    return {
+        name: {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "currsize": stats.currsize,
+            "hit_rate": stats.hit_rate,
+        }
+        for name, stats in cache_stats().items()
+    }
+
+
+class MetricsRegistry:
+    """Named snapshot providers merged behind one call.
+
+    ``register`` a callable for live sources (counters, histograms);
+    ``set_gauges`` for point-in-time values a producer pushes after
+    each unit of work (the simulator's buffer levels).  Thread-safe:
+    the server updates on its event loop while benchmarks snapshot
+    from other threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._providers: Dict[str, Callable[[], dict]] = {}
+
+    def register(self, name: str, provider: Callable[[], dict]) -> None:
+        """Bind ``name`` to ``provider`` (replacing any previous binding)."""
+        if not callable(provider):
+            raise TypeError(f"provider for {name!r} must be callable, got {provider!r}")
+        with self._lock:
+            self._providers[name] = provider
+
+    def unregister(self, name: str) -> None:
+        """Drop ``name`` if registered (idempotent)."""
+        with self._lock:
+            self._providers.pop(name, None)
+
+    def set_gauges(self, name: str, values: Mapping[str, object]) -> None:
+        """Publish a static gauge dict under ``name`` (copied now)."""
+        frozen = dict(values)
+        with self._lock:
+            self._providers[name] = frozen.copy
+
+    def names(self) -> tuple:
+        """Currently registered provider names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._providers))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Every provider's current dict, keyed by registered name."""
+        with self._lock:
+            providers = dict(self._providers)
+        out: Dict[str, dict] = {}
+        for name, provider in providers.items():
+            try:
+                out[name] = provider()
+            except Exception as exc:  # noqa: BLE001 - one bad source must not hide the rest
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+
+#: The process-wide registry: cache stats built in; the service and
+#: simulator layers register themselves as they come up.
+GLOBAL_METRICS = MetricsRegistry()
+GLOBAL_METRICS.register("cache", cache_snapshot)

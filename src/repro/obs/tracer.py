@@ -1,0 +1,248 @@
+"""The span/event API: one tracer for simulated and wall-clock time.
+
+A :class:`Tracer` is an append-only buffer of :class:`TraceEvent`
+records — complete spans (``ph='X'``), instant events (``'i'``),
+counter samples (``'C'``), and track-name metadata (``'M'``) — the
+exact vocabulary of the Chrome trace-event format, so export is a
+field-for-field serialization (:mod:`repro.obs.export`).
+
+Timestamps come from a pluggable *clock* returning microseconds:
+
+* wall-clock (default): :func:`wall_clock_us`, a ``perf_counter``
+  wrapper — what the sweep engine and the plan service use;
+* simulated time: the multicast simulator calls :meth:`Tracer.set_clock`
+  with each run's ``env.now`` so NI spans land on the DES timeline.
+
+Events live on *tracks*: ``tracer.track(process, thread)`` interns a
+(pid, tid) pair and records the naming metadata once, so Perfetto
+shows one row per NI / worker / connection.
+
+Hot-path contract: every emission site must guard on
+:attr:`Tracer.enabled` *before* building argument dicts.  The methods
+re-check and early-return, but the guard at the call site is what
+makes disabled tracing free — no kwargs allocation, no record
+construction.  :data:`NULL_TRACER` is the shared disabled singleton
+for "no tracer configured".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["NULL_TRACER", "Span", "TraceEvent", "Tracer", "Track", "wall_clock_us"]
+
+
+def wall_clock_us() -> float:
+    """Monotonic wall-clock time in microseconds (``perf_counter``)."""
+    return time.perf_counter() * 1e6
+
+
+@dataclass(frozen=True)
+class Track:
+    """One timeline row: a (process id, thread id) pair."""
+
+    pid: int
+    tid: int
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event, field-compatible with Chrome trace events.
+
+    ``ph`` is the phase: ``'X'`` complete span, ``'i'`` instant,
+    ``'C'`` counter, ``'M'`` metadata.  ``ts``/``dur`` are in
+    microseconds of whatever clock the tracer ran on.
+    """
+
+    ph: str
+    name: str
+    cat: str
+    ts: float
+    pid: int
+    tid: int
+    dur: Optional[float] = None
+    args: Optional[dict] = None
+
+
+class Span:
+    """Context manager recording one complete span on ``__exit__``.
+
+    Produced by :meth:`Tracer.span`; reusable only sequentially (each
+    ``with`` records one event).  When the tracer is disabled a shared
+    no-op instance is returned instead, so the ``with`` costs two
+    attribute lookups and nothing else.
+    """
+
+    __slots__ = ("_tracer", "name", "cat", "track", "args", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, track: Track, args) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer.complete(
+            self.name, self.track, self._start, cat=self.cat, args=self.args
+        )
+
+
+class _NullSpan:
+    """The do-nothing span handed out by disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_TRACK = Track(0, 0)
+
+
+class Tracer:
+    """Append-only event buffer with named tracks and a pluggable clock.
+
+    Parameters
+    ----------
+    clock:
+        ``() -> float`` microseconds; defaults to :func:`wall_clock_us`.
+        Rebind later with :meth:`set_clock` (the multicast simulator
+        points it at each run's simulated clock).
+    enabled:
+        When ``False`` every method early-returns and :meth:`span`
+        hands out a shared no-op; call sites must additionally guard
+        on :attr:`enabled` so argument dicts are never built.
+    """
+
+    def __init__(
+        self, clock: Optional[Callable[[], float]] = None, enabled: bool = True
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock if clock is not None else wall_clock_us
+        self.events: List[TraceEvent] = []
+        self._processes: Dict[str, int] = {}
+        self._threads: Dict[Tuple[int, str], int] = {}
+
+    # -- clock / tracks -----------------------------------------------------
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Rebind the time source (e.g. to a fresh simulation's ``env.now``)."""
+        self._clock = clock
+
+    def now(self) -> float:
+        """Current time on this tracer's clock (µs)."""
+        return self._clock()
+
+    def track(self, process: str, thread: str) -> Track:
+        """Intern a (process, thread) timeline row, naming it once.
+
+        The first request for a process or thread name records the
+        Chrome ``process_name`` / ``thread_name`` metadata events;
+        repeat calls are two dict hits.
+        """
+        if not self.enabled:
+            return _NULL_TRACK
+        pid = self._processes.get(process)
+        if pid is None:
+            pid = len(self._processes) + 1
+            self._processes[process] = pid
+            self.events.append(
+                TraceEvent(
+                    "M", "process_name", "__metadata", 0.0, pid, 0,
+                    args={"name": process},
+                )
+            )
+        key = (pid, thread)
+        tid = self._threads.get(key)
+        if tid is None:
+            tid = len(self._threads) + 1
+            self._threads[key] = tid
+            self.events.append(
+                TraceEvent(
+                    "M", "thread_name", "__metadata", 0.0, pid, tid,
+                    args={"name": thread},
+                )
+            )
+        return Track(pid, tid)
+
+    # -- emission -----------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        track: Track,
+        start: float,
+        end: Optional[float] = None,
+        cat: str = "span",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a complete span from ``start`` to ``end`` (default: now)."""
+        if not self.enabled:
+            return
+        if end is None:
+            end = self._clock()
+        self.events.append(
+            TraceEvent(
+                "X", name, cat, start, track.pid, track.tid,
+                dur=max(end - start, 0.0), args=args,
+            )
+        )
+
+    def instant(
+        self, name: str, track: Track, cat: str = "event", args: Optional[dict] = None
+    ) -> None:
+        """Record a zero-duration event at the current time."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent("i", name, cat, self._clock(), track.pid, track.tid, args=args)
+        )
+
+    def counter(self, name: str, track: Track, value: float, cat: str = "counter") -> None:
+        """Record one sample of a numeric series (NI buffer level, …)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(
+                "C", name, cat, self._clock(), track.pid, track.tid,
+                args={"value": value},
+            )
+        )
+
+    def span(
+        self, name: str, track: Track, cat: str = "span", args: Optional[dict] = None
+    ):
+        """A ``with``-block span: enters now, records on exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, cat, track, args)
+
+    # -- maintenance --------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all recorded events and track registrations."""
+        self.events.clear()
+        self._processes.clear()
+        self._threads.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        # An empty tracer must stay truthy — ``__len__`` alone would
+        # make ``if tracer:`` guards skip the very first events.
+        return True
+
+
+#: Shared disabled tracer: the "no tracing configured" default, so hot
+#: paths test one attribute instead of None.  Never enable it.
+NULL_TRACER = Tracer(enabled=False)

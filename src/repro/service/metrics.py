@@ -19,7 +19,7 @@ import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Tuple
 
-from ..core.cache import cache_stats
+from ..obs.metrics import GLOBAL_METRICS, cache_snapshot
 
 __all__ = ["Counter", "LatencyHistogram", "ServiceMetrics"]
 
@@ -140,6 +140,10 @@ class ServiceMetrics:
     refused with ``overloaded``; ``timeouts`` — per-request deadline
     expiries; ``errors`` — every error response sent (including shed
     and timeouts).
+
+    Each instance registers its :meth:`snapshot` with
+    :data:`repro.obs.GLOBAL_METRICS` under ``"service"`` (last writer
+    wins), so the unified registry always reflects the live service.
     """
 
     def __init__(self) -> None:
@@ -157,6 +161,7 @@ class ServiceMetrics:
         self._batch_count = 0
         self._batch_requests = 0
         self._batch_max = 0
+        GLOBAL_METRICS.register("service", self.snapshot)
 
     def observe_batch(self, size: int) -> None:
         """Record one flushed batch of ``size`` unique requests."""
@@ -191,13 +196,5 @@ class ServiceMetrics:
             },
             "plan_latency": self.plan_latency.snapshot(),
             "batch": batch,
-            "cache": {
-                name: {
-                    "hits": stats.hits,
-                    "misses": stats.misses,
-                    "currsize": stats.currsize,
-                    "hit_rate": stats.hit_rate,
-                }
-                for name, stats in cache_stats().items()
-            },
+            "cache": cache_snapshot(),
         }

@@ -34,6 +34,7 @@ import json
 import signal
 from typing import Optional, Set
 
+from ..obs.tracer import Tracer
 from ..params import MachineParams
 from .batching import PlanBatcher
 from .metrics import ServiceMetrics
@@ -88,6 +89,11 @@ class PlanServer:
     max_n:
         Largest accepted multicast set size (plan cost grows with
         ``n · m``; this is the request-size half of admission control).
+    tracer:
+        A wall-clock :class:`repro.obs.Tracer`: when enabled, every
+        handled line gets one span (request type, id, outcome) on the
+        ``service/requests`` track — export after shutdown for a
+        Perfetto view of request concurrency.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class PlanServer:
         workers: int = 1,
         max_batch: int = 64,
         max_delay: float = 0.001,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -130,6 +137,12 @@ class PlanServer:
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.max_n = max_n
+        self.tracer = tracer
+        self._obs_track = (
+            tracer.track("service", "requests")
+            if tracer is not None and tracer.enabled
+            else None
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._active_plans = 0
         self._request_tasks: Set[asyncio.Task] = set()
@@ -238,7 +251,10 @@ class PlanServer:
         self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
     ) -> None:
         self.metrics.requests.inc()
+        tracer = self.tracer
+        span_start = tracer.now() if tracer is not None and tracer.enabled else 0.0
         request_id = None
+        kind = None
         try:
             payload = json.loads(line)
             if not isinstance(payload, dict):
@@ -262,6 +278,14 @@ class PlanServer:
         except Exception as exc:  # noqa: BLE001 - the service must answer
             response = _error(request_id, "internal", f"{type(exc).__name__}: {exc}")
             self.metrics.errors.inc()
+        if tracer is not None and tracer.enabled:
+            tracer.complete(
+                str(kind) if kind is not None else "invalid",
+                self._obs_track,
+                span_start,
+                cat="service",
+                args={"id": request_id, "ok": bool(response.get("ok"))},
+            )
         await self._write(writer, write_lock, response)
 
     async def _handle_plan(self, payload: dict, request_id) -> dict:

@@ -5,17 +5,24 @@ Two tools:
 * :class:`Trace` — an append-only log of ``(time, category, **fields)``
   records.  The multicast simulator emits packet send/receive/forward
   records through a Trace so tests and benchmarks can reconstruct full
-  packet timelines.
+  packet timelines.  Records are indexed by category on insertion, so
+  ``select``/``count``/``last_time`` touch only the queried category
+  instead of scanning the whole log (the differential tests query per
+  packet, which used to make them quadratic in total records).
 * :class:`LevelMonitor` — tracks a piecewise-constant integer level over
   time (e.g. NI buffer occupancy) and reports its maximum and
   time-weighted average.  This is how the FCFS-vs-FPFS buffer claim
   (paper §3.3.2) is measured rather than merely asserted.
+
+Emission sites should guard on :attr:`Trace.enabled` before building
+keyword arguments — ``log`` re-checks, but the call-site guard is what
+keeps a disabled trace free on the simulator's hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Environment
@@ -40,17 +47,21 @@ class Trace:
         self.env = env
         self.enabled = enabled
         self.records: list[TraceRecord] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
 
     def log(self, category: str, **fields: object) -> None:
         """Record ``fields`` under ``category`` at the current time."""
         if self.enabled:
-            self.records.append(TraceRecord(self.env.now, category, fields))
+            record = TraceRecord(self.env.now, category, fields)
+            self.records.append(record)
+            bucket = self._by_category.get(category)
+            if bucket is None:
+                bucket = self._by_category[category] = []
+            bucket.append(record)
 
     def select(self, category: str, **match: object) -> Iterator[TraceRecord]:
         """Iterate records of ``category`` whose fields equal ``match``."""
-        for record in self.records:
-            if record.category != category:
-                continue
+        for record in self._by_category.get(category, ()):
             if all(record.fields.get(k) == v for k, v in match.items()):
                 yield record
 
@@ -58,12 +69,20 @@ class Trace:
         return sum(1 for _ in self.select(category, **match))
 
     def last_time(self, category: str, **match: object) -> Optional[float]:
-        """Time of the latest matching record, or None."""
-        times = [r.time for r in self.select(category, **match)]
-        return max(times) if times else None
+        """Time of the latest matching record, or None.
+
+        Records within a category are in non-decreasing time order (the
+        simulation clock never runs backwards), so this walks the
+        category bucket from the end and stops at the first match.
+        """
+        for record in reversed(self._by_category.get(category, ())):
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                return record.time
+        return None
 
     def clear(self) -> None:
         self.records.clear()
+        self._by_category.clear()
 
 
 @dataclass
@@ -72,6 +91,9 @@ class LevelMonitor:
 
     Call :meth:`change` whenever the level moves; the monitor integrates
     level × time between changes.  ``finalize`` closes the last interval.
+    The averaging window starts at the monitor's *creation* time — a
+    monitor created mid-simulation averages over ``[start, end]``, not
+    ``[0, end]``.
     """
 
     env: "Environment"
@@ -79,10 +101,12 @@ class LevelMonitor:
     peak: int = 0
     _area: float = 0.0
     _last_change: float = field(default=0.0)
+    _started_at: float = field(default=0.0)
     _finalized_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         self._last_change = self.env.now
+        self._started_at = self.env.now
 
     def change(self, delta: int) -> None:
         """Adjust the level by ``delta`` at the current time."""
@@ -92,7 +116,8 @@ class LevelMonitor:
         self.level += delta
         if self.level < 0:
             raise ValueError(f"level went negative ({self.level}) at t={now}")
-        self.peak = max(self.peak, self.level)
+        if self.level > self.peak:
+            self.peak = self.level
 
     def finalize(self) -> None:
         """Close the integration window at the current time."""
@@ -103,6 +128,7 @@ class LevelMonitor:
 
     @property
     def time_average(self) -> float:
-        """Time-weighted mean level from t=0 to the last change/finalize."""
+        """Time-weighted mean level over [creation, last change/finalize]."""
         end = self._finalized_at if self._finalized_at is not None else self._last_change
-        return self._area / end if end > 0 else 0.0
+        window = end - self._started_at
+        return self._area / window if window > 0 else 0.0

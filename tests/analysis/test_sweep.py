@@ -154,3 +154,42 @@ def test_parallel_with_store_only_measures_missing_points(tmp_path):
     assert store.hits == 4 and store.misses == 4
     expected = run_sweep(picklable_measure, {"n": [1, 2, 3, 4], "m": [1, 2]})
     assert [tuple(p.value) for p in points] == [tuple(p.value) for p in expected]
+
+
+def test_serial_sweep_records_a_span_per_point():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    run_sweep(picklable_measure, {"n": [1, 2], "m": [3]}, tracer=tracer)
+    spans = [e for e in tracer.events if e.ph == "X"]
+    assert len(spans) == 2
+    assert all(e.cat == "sweep" and e.name == "point" for e in spans)
+    assert spans[0].args == {"n": 1, "m": 3}
+
+
+def test_parallel_sweep_records_a_span_per_chunk():
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    run_sweep(
+        picklable_measure, {"n": [1, 2, 3, 4], "m": [1, 2]}, workers=2, tracer=tracer
+    )
+    spans = [e for e in tracer.events if e.ph == "X"]
+    assert spans and all(e.name.startswith("chunk") for e in spans)
+    assert sum(e.args["points"] for e in spans) == 8
+
+
+def test_store_flush_embeds_run_manifest(tmp_path):
+    import json
+
+    path = tmp_path / "store.json"
+    run_sweep(picklable_measure, {"n": [1, 2], "m": [1]}, store=path)
+    doc = json.loads(path.read_text())
+    assert doc["version"] == 1
+    manifest = doc["manifest"]
+    assert manifest["schema"] == 1 and manifest["package"] == "repro"
+    assert manifest["points"] == 2
+    # The store still round-trips through SweepStore after the format gained
+    # its manifest envelope.
+    store = SweepStore(path)
+    assert len(store) == 2

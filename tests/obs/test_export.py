@@ -1,0 +1,83 @@
+"""Exporter golden schema: the Chrome trace contract Perfetto relies on."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.machine import Machine
+from repro.obs import Tracer, run_manifest, to_chrome, to_jsonl, trace_summary, write_chrome_trace, write_jsonl
+
+
+@pytest.fixture(scope="module")
+def sim_tracer():
+    """A tracer filled by a real simulated multicast (the DES layer)."""
+    tracer = Tracer()
+    machine = Machine.irregular(seed=0, tracer=tracer)
+    hosts = machine.hosts
+    machine.multicast(hosts[0], hosts[1:8], 512)
+    return tracer
+
+
+def test_chrome_trace_round_trips_as_json(tmp_path, sim_tracer):
+    path = write_chrome_trace(tmp_path / "trace.json", sim_tracer, run_manifest(seed=0))
+    doc = json.loads(open(path, encoding="utf-8").read())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "metadata"}
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["metadata"]["schema"] == 1
+
+
+def test_chrome_events_carry_required_keys(sim_tracer):
+    doc = to_chrome(sim_tracer)
+    assert doc["traceEvents"], "simulated run produced no events"
+    for event in doc["traceEvents"]:
+        for key in ("ph", "name", "cat", "ts", "pid", "tid"):
+            assert key in event, f"event missing {key!r}: {event}"
+        assert event["ph"] in {"X", "i", "C", "M"}
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+
+
+def test_chrome_span_timestamps_monotone_per_track(sim_tracer):
+    doc = to_chrome(sim_tracer)
+    per_track = {}
+    for event in doc["traceEvents"]:
+        if event["ph"] == "M":
+            continue
+        per_track.setdefault((event["pid"], event["tid"]), []).append(event["ts"])
+    assert per_track
+    for track, ts in per_track.items():
+        assert ts == sorted(ts), f"track {track} timestamps not monotone"
+
+
+def test_sim_spans_cover_the_packet_lifecycle(sim_tracer):
+    names = {(e.cat, e.name) for e in sim_tracer.events if e.ph != "M"}
+    assert ("ni", "inject") in names
+    assert ("ni", "send") in names
+    assert ("ni", "recv") in names
+    assert ("ni", "deliver") in names
+
+
+def test_jsonl_one_event_per_line(tmp_path, sim_tracer):
+    path = write_jsonl(tmp_path / "trace.jsonl", sim_tracer)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    assert len(lines) == len(sim_tracer.events)
+    for line in lines:
+        assert "ph" in json.loads(line)
+    assert to_jsonl(sim_tracer).count("\n") == len(lines) - 1
+
+
+def test_trace_summary_digest(sim_tracer):
+    text = trace_summary(sim_tracer)
+    assert text.startswith("trace:")
+    assert "ni/send" in text and "spans" in text and "us" in text
+
+
+def test_export_survives_non_json_args(tmp_path):
+    tracer = Tracer()
+    track = tracer.track("p", "t")
+    tracer.instant("x", track, args={"obj": object()})
+    doc = json.loads(open(write_chrome_trace(tmp_path / "t.json", tracer)).read())
+    [event] = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert "object object" in event["args"]["obj"]

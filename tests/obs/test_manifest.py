@@ -1,0 +1,45 @@
+"""Run manifests: provenance that serializes and never raises."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.obs import git_sha, run_manifest
+from repro.obs.manifest import MANIFEST_SCHEMA
+
+
+def test_manifest_core_keys():
+    m = run_manifest(seed=7)
+    assert m["schema"] == MANIFEST_SCHEMA
+    assert m["package"] == "repro"
+    assert m["seed"] == 7
+    for key in ("version", "git_sha", "python", "platform", "argv", "created_unix", "created_utc"):
+        assert key in m, key
+
+
+def test_manifest_is_json_serializable():
+    @dataclasses.dataclass
+    class P:
+        n: int = 64
+        m: int = 8
+
+    m = run_manifest(params=P(), seed=1, extra={"kind": "test"})
+    round_tripped = json.loads(json.dumps(m))
+    assert round_tripped["params"] == {"n": 64, "m": 8}
+    assert round_tripped["kind"] == "test"
+
+
+def test_manifest_opaque_params_fall_back_to_repr():
+    m = run_manifest(params=object())
+    assert isinstance(m["params"], str)
+    json.dumps(m)
+
+
+def test_git_sha_in_this_checkout():
+    sha = git_sha()
+    assert sha is None or (len(sha) == 40 and set(sha) <= set("0123456789abcdef"))
+
+
+def test_git_sha_outside_a_repo(tmp_path):
+    assert git_sha(cwd=str(tmp_path)) is None

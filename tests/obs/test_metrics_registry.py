@@ -1,0 +1,84 @@
+"""The unified metrics registry: cache, service, and sim layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine
+from repro.obs import GLOBAL_METRICS, MetricsRegistry
+from repro.obs.metrics import cache_snapshot
+
+
+def test_register_and_snapshot():
+    reg = MetricsRegistry()
+    reg.register("a", lambda: {"x": 1})
+    reg.set_gauges("b", {"y": 2.5})
+    assert reg.names() == ("a", "b")
+    assert reg.snapshot() == {"a": {"x": 1}, "b": {"y": 2.5}}
+
+
+def test_register_is_last_writer_wins():
+    reg = MetricsRegistry()
+    reg.register("a", lambda: {"v": 1})
+    reg.register("a", lambda: {"v": 2})
+    assert reg.snapshot() == {"a": {"v": 2}}
+
+
+def test_unregister_is_idempotent():
+    reg = MetricsRegistry()
+    reg.register("a", lambda: {})
+    reg.unregister("a")
+    reg.unregister("a")
+    assert reg.names() == ()
+
+
+def test_set_gauges_copies_now():
+    reg = MetricsRegistry()
+    values = {"x": 1}
+    reg.set_gauges("g", values)
+    values["x"] = 99
+    assert reg.snapshot()["g"] == {"x": 1}
+
+
+def test_failing_provider_is_isolated():
+    reg = MetricsRegistry()
+
+    def boom():
+        raise RuntimeError("nope")
+
+    reg.register("bad", boom)
+    reg.register("good", lambda: {"ok": True})
+    snap = reg.snapshot()
+    assert snap["good"] == {"ok": True}
+    assert "nope" in snap["bad"]["error"]
+
+
+def test_non_callable_provider_rejected():
+    with pytest.raises(TypeError):
+        MetricsRegistry().register("a", {"not": "callable"})
+
+
+def test_global_registry_unifies_cache_service_and_sim():
+    from repro.service.metrics import ServiceMetrics
+
+    metrics = ServiceMetrics()  # registers itself under "service"
+    metrics.requests.inc()
+    machine = Machine.irregular(seed=0)
+    hosts = machine.hosts
+    machine.multicast(hosts[0], hosts[1:8], 512)  # publishes "sim" gauges
+
+    snap = GLOBAL_METRICS.snapshot()
+    assert {"cache", "service", "sim"} <= set(snap)
+    assert snap["service"]["counters"]["requests"] >= 1
+    assert snap["sim"]["ni_buffer_peak"] >= 1
+    assert snap["sim"]["hosts"] == 64
+    assert set(snap["cache"]) == set(cache_snapshot())
+
+
+def test_sim_gauges_mirror_simulator_attribute():
+    machine = Machine.irregular(seed=1)
+    hosts = machine.hosts
+    machine.multicast(hosts[0], hosts[1:4], 128)
+    gauges = machine.simulator.last_gauges
+    assert gauges == GLOBAL_METRICS.snapshot()["sim"]
+    assert gauges["ni_buffer_avg"] >= 0.0

@@ -1,0 +1,105 @@
+"""The span/event API: clocks, tracks, spans, and the disabled path."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_TRACER, Tracer
+
+
+def test_span_records_complete_event():
+    t = Tracer()
+    track = t.track("proc", "thread")
+    with t.span("work", track, cat="test", args={"x": 1}):
+        pass
+    [event] = [e for e in t.events if e.ph == "X"]
+    assert event.name == "work" and event.cat == "test"
+    assert event.pid == track.pid and event.tid == track.tid
+    assert event.dur >= 0.0 and event.args == {"x": 1}
+
+
+def test_complete_with_explicit_bounds():
+    t = Tracer()
+    track = t.track("p", "t")
+    t.complete("span", track, 10.0, 25.0, cat="c")
+    [event] = [e for e in t.events if e.ph == "X"]
+    assert event.ts == 10.0 and event.dur == 15.0
+
+
+def test_simulated_clock_via_set_clock():
+    now = [0.0]
+    t = Tracer()
+    t.set_clock(lambda: now[0])
+    track = t.track("sim", "host")
+    now[0] = 5.0
+    t.instant("tick", track)
+    now[0] = 9.0
+    t.instant("tock", track)
+    ts = [e.ts for e in t.events if e.ph == "i"]
+    assert ts == [5.0, 9.0]
+    assert t.now() == 9.0
+
+
+def test_counter_records_value():
+    t = Tracer()
+    track = t.track("p", "t")
+    t.counter("buffer", track, 3)
+    [event] = [e for e in t.events if e.ph == "C"]
+    assert event.args == {"value": 3}
+
+
+def test_track_metadata_emitted_once():
+    t = Tracer()
+    a = t.track("proc", "thread")
+    b = t.track("proc", "thread")
+    assert a == b
+    meta = [e for e in t.events if e.ph == "M"]
+    assert len(meta) == 2  # one process_name + one thread_name
+    names = {e.name: e.args["name"] for e in meta}
+    assert names == {"process_name": "proc", "thread_name": "thread"}
+
+
+def test_distinct_tracks_get_distinct_ids():
+    t = Tracer()
+    a = t.track("p1", "t1")
+    b = t.track("p1", "t2")
+    c = t.track("p2", "t1")
+    assert a.pid == b.pid and a.tid != b.tid
+    assert c.pid != a.pid
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    track = t.track("p", "t")
+    t.complete("x", track, 0.0, 1.0)
+    t.instant("y", track)
+    t.counter("z", track, 1)
+    with t.span("w", track):
+        pass
+    assert len(t) == 0
+
+
+def test_disabled_span_is_shared_noop():
+    a = Tracer(enabled=False).span("x", None)
+    b = NULL_TRACER.span("y", None)
+    assert a is b
+
+
+def test_null_tracer_is_disabled():
+    assert not NULL_TRACER.enabled
+    assert len(NULL_TRACER) == 0
+
+
+def test_empty_tracer_is_truthy():
+    # Regression: ``__len__`` alone made ``if tracer:`` skip the very
+    # first emission of a run (empty buffer -> falsy).
+    t = Tracer()
+    assert t and len(t) == 0
+
+
+def test_clear_resets_events_and_tracks():
+    t = Tracer()
+    t.instant("x", t.track("p", "t"))
+    t.clear()
+    assert len(t) == 0
+    # Re-interning after clear re-emits metadata.
+    t.track("p", "t")
+    assert [e.ph for e in t.events] == ["M", "M"]

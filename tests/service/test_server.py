@@ -212,3 +212,48 @@ class TestGracefulShutdown:
             await server.shutdown()
 
         run(body())
+
+
+class TestRequestSpans:
+    def test_every_handled_line_gets_one_span(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+        async def body():
+            server = await started_server(tracer=tracer)
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            await client.plan(16, 4)
+            await client.ping()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(b'{"type": "plan", "id": "bad", "n": 1, "m": 0}\n')
+            await writer.drain()
+            error = json.loads(await reader.readline())
+            writer.close()
+            await client.close()
+            await server.shutdown()
+            return error
+
+        error = run(body())
+        assert error["ok"] is False
+        spans = [e for e in tracer.events if e.ph == "X"]
+        assert [e.cat for e in spans] == ["service"] * 3
+        assert sorted(e.name for e in spans) == ["ping", "plan", "plan"]
+        assert any(e.name == "plan" and e.args["ok"] for e in spans)
+        assert any(e.name == "ping" and e.args["ok"] for e in spans)
+        # The failed request still got a span, carrying its id and outcome.
+        failed = [e for e in spans if e.args["ok"] is False]
+        assert len(failed) == 1 and failed[0].args["id"] == "bad"
+        assert all(e.dur >= 0 for e in spans)
+
+    def test_untraced_server_records_nothing(self):
+        async def body():
+            server = await started_server()
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            await client.ping()
+            await client.close()
+            await server.shutdown()
+            return server
+
+        server = run(body())
+        assert server.tracer is None

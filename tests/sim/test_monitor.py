@@ -97,3 +97,54 @@ def test_level_monitor_time_average(env):
 def test_level_monitor_zero_duration_average(env):
     mon = LevelMonitor(env)
     assert mon.time_average == 0.0
+
+
+def test_level_monitor_created_mid_simulation(env):
+    """Regression: the averaging window starts at creation, not t=0.
+
+    A monitor born at t=10 that holds level 4 for 2 time units must
+    average 4.0 — dividing by ``end`` instead of ``end - start`` used
+    to dilute it to 8/12.
+    """
+    holder = {}
+
+    def proc(env):
+        yield env.timeout(10)
+        mon = holder["mon"] = LevelMonitor(env)
+        mon.change(+4)
+        yield env.timeout(2)
+        mon.finalize()
+
+    env.process(proc(env))
+    env.run()
+    assert holder["mon"].time_average == pytest.approx(4.0)
+
+
+def test_trace_select_uses_category_index(env):
+    tr = Trace(env)
+    tr.log("send", dst=1)
+    tr.log("recv", dst=1)
+    tr.log("send", dst=2)
+    # The category buckets partition the flat log.
+    assert [r.category for r in tr.records] == ["send", "recv", "send"]
+    assert [r["dst"] for r in tr.select("send")] == [1, 2]
+    assert list(tr.select("drop")) == []
+    tr.clear()
+    assert tr.count("send") == 0 and list(tr.select("send")) == []
+
+
+def test_trace_last_time_scans_only_its_category(env):
+    tr = Trace(env)
+
+    def proc(env):
+        tr.log("tick", n=1)
+        yield env.timeout(3)
+        tr.log("tock", n=1)
+        yield env.timeout(4)
+        tr.log("tick", n=2)
+
+    env.process(proc(env))
+    env.run()
+    assert tr.last_time("tick") == 7
+    assert tr.last_time("tick", n=1) == 0
+    assert tr.last_time("tock") == 3

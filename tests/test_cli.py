@@ -110,3 +110,52 @@ def test_plan_with_schedule_and_params(capsys):
 def test_plan_rejects_bad_n(capsys):
     with pytest.raises(ValueError, match="n must be"):
         main(["plan", "-n", "1", "-m", "2"])
+
+
+def test_trace_command_writes_perfetto_json(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    out = run_cli(capsys, "trace", "--dests", "7", "--bytes", "256", "--out", str(out_path))
+    assert "traced multicast" in out and "trace:" in out
+    assert f"wrote {out_path}" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"] and doc["metadata"]["command"] == "trace"
+    assert {e["ph"] for e in doc["traceEvents"]} >= {"X", "M"}
+
+
+def test_trace_command_jsonl_format(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    run_cli(capsys, "trace", "--dests", "3", "--out", str(out_path), "--format", "jsonl")
+    lines = out_path.read_text().splitlines()
+    assert lines and all("ph" in json.loads(line) for line in lines)
+
+
+def test_simulate_trace_out_and_stats(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "sim.json"
+    out = run_cli(
+        capsys, "simulate", "--dests", "7", "--bytes", "128",
+        "--trace-out", str(out_path), "--stats",
+    )
+    assert "latency" in out and f"wrote {out_path}" in out
+    assert '"sim"' in out and '"cache"' in out  # the --stats snapshot
+    doc = json.loads(out_path.read_text())
+    assert doc["metadata"]["seed"] == 0 and doc["traceEvents"]
+
+
+def test_fig13a_trace_out_records_sweep_spans(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "fig.json"
+    out = run_cli(
+        capsys, "fig13a", "--topologies", "1", "--dest-sets", "1",
+        "--trace-out", str(out_path),
+    )
+    assert "Fig. 13(a)" in out
+    doc = json.loads(out_path.read_text())
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert spans and all(e["cat"] == "sweep" for e in spans)

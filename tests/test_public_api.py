@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.nic",
     "repro.mcast",
     "repro.analysis",
+    "repro.obs",
 ]
 
 
