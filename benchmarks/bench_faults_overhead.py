@@ -1,0 +1,133 @@
+"""Fault-gate overhead: an empty schedule must be (nearly) free.
+
+The fault-injection layer (``repro.faults``) hooks the NI engines
+through a single ``fault_gate`` attribute that defaults to ``None``.
+With no schedule installed the only added work is one attribute test
+per engine iteration, so a :class:`FaultyMulticastSimulator` running
+an empty schedule must produce *byte-identical simulated results* and
+stay within 2% wall-clock of the baseline simulator on the paper's
+8-packet, 63-destination broadcast.
+
+Run with ``pytest benchmarks/bench_faults_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+from repro import (
+    MulticastSimulator,
+    UpDownRouter,
+    build_irregular_network,
+    build_kbinomial_tree,
+    cco_ordering,
+    chain_for,
+)
+from repro.faults import FaultSchedule, FaultyMulticastSimulator
+
+#: Paired timing rounds; the best per-round ratio absorbs noise.
+ROUNDS = 11
+#: Simulator runs folded into one timing sample (~90 ms each), so a
+#: single descheduling blip cannot swing a sample by whole percents.
+BATCH = 5
+
+
+def _setup():
+    topology = build_irregular_network(seed=0)
+    router = UpDownRouter(topology)
+    ordering = cco_ordering(topology, router)
+    chain = chain_for(ordering[0], list(ordering[1:]), ordering)
+    tree = build_kbinomial_tree(chain, 2)
+    return topology, router, tree
+
+
+def test_empty_schedule_results_identical():
+    """No faults installed -> the simulated result is exactly the baseline's."""
+    topology, router, tree = _setup()
+    base = MulticastSimulator(topology, router).run(tree, 8)
+    faulty = FaultyMulticastSimulator(topology, router, schedule=FaultSchedule()).run(tree, 8)
+
+    assert faulty.latency == base.latency
+    assert faulty.completion_time == base.completion_time
+    assert faulty.packet_completion == base.packet_completion
+    assert faulty.destination_completion == base.destination_completion
+    assert faulty.peak_buffers == base.peak_buffers
+    assert faulty.blocked_time == base.blocked_time
+
+
+def test_empty_schedule_degraded_view_is_lossless():
+    """``run_degraded`` under an empty schedule reports full coverage."""
+    topology, router, tree = _setup()
+    base = MulticastSimulator(topology, router).run(tree, 8)
+    degraded = FaultyMulticastSimulator(topology, router).run_degraded(tree, 8)
+
+    assert degraded.coverage == 1.0
+    assert degraded.delivery_ratio == 1.0
+    assert degraded.dropped == {"sends": 0, "recvs": 0, "links": 0, "buffer": 0}
+    assert degraded.completion_time == base.completion_time
+    assert degraded.destination_completion == base.destination_completion
+
+
+def _paired_times(base_sim, faulty_sim, tree):
+    """Per-round (base, faulty) timings, measured back-to-back.
+
+    Pairing the two candidates inside every round makes the per-round
+    *ratio* robust: machine-wide drift (thermal/frequency ramps, noisy
+    neighbours) slows both sides of a round together, so it cancels in
+    the ratio, while an unpaired min-of-N attributes the drift to
+    whichever simulator happened to run in the slow rounds.
+    """
+    rounds = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            sample = []
+            for simulator in (base_sim, faulty_sim):
+                gc.collect()
+                start = time.perf_counter()
+                for _ in range(BATCH):
+                    simulator.run(tree, 8)
+                sample.append((time.perf_counter() - start) / BATCH)
+            rounds.append(tuple(sample))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return rounds
+
+
+def test_empty_schedule_overhead_within_2pct(capsys):
+    """Wall-clock: faulty-but-idle simulator stays within 2% of baseline.
+
+    The two simulators execute the same event sequence (only a
+    ``fault_gate is None`` test differs), so the gate is the *best*
+    per-round ratio over paired timings: timing noise is round-local
+    and inflates individual ratios both ways, but a genuinely
+    systematic >=2% slowdown would inflate every round's ratio, so it
+    cannot hide from the minimum — while a zero-overhead path always
+    produces at least one clean round even on a noisy shared machine.
+    """
+    topology, router, tree = _setup()
+    base_sim = MulticastSimulator(topology, router)
+    faulty_sim = FaultyMulticastSimulator(topology, router, schedule=FaultSchedule())
+
+    # Warm both code paths (imports, route caches) before timing.
+    base_sim.run(tree, 8)
+    faulty_sim.run(tree, 8)
+
+    rounds = _paired_times(base_sim, faulty_sim, tree)
+    ratios = [faulty / base for base, faulty in rounds]
+    overhead = min(ratios) - 1.0
+    median = statistics.median(ratios) - 1.0
+    base_best = min(base for base, _ in rounds)
+    faulty_best = min(faulty for _, faulty in rounds)
+
+    with capsys.disabled():
+        print(
+            f"\nfault-gate overhead: baseline {base_best * 1e3:.2f} ms, "
+            f"empty-schedule {faulty_best * 1e3:.2f} ms, "
+            f"paired overhead best {overhead * 100:+.2f}% / median {median * 100:+.2f}%"
+        )
+    assert overhead <= 0.02, f"empty-schedule overhead {overhead * 100:.2f}% exceeds 2%"

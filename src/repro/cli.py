@@ -14,6 +14,8 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast simulate --dests 15 --bytes 512 [--tree binomial] [--ni fcfs]
     repro-mcast trace --dests 15 --bytes 512 --out trace.json   # Perfetto trace
     repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
+    repro-mcast chaos --smoke          # CI-sized fault-injection check
+    repro-mcast chaos --runs 5 --dests 31 --bytes 512 --out chaos.json
     repro-mcast decoster --bytes 4096
     repro-mcast serve --port 7017 --workers 2       # plan service
     repro-mcast plan -n 64 -m 8 [--connect HOST:PORT] [--schedule]
@@ -331,6 +333,38 @@ def _cmd_reliable(args) -> None:
     )
 
 
+def _cmd_chaos(args) -> None:
+    """Fault-injection sweep: scenarios × seeds, survival table out."""
+    import json as _json
+
+    from .faults import chaos_smoke, chaos_sweep, records_json, survival_table
+    from .params import PAPER_PARAMS
+
+    if args.smoke:
+        records = chaos_smoke(workers=args.workers)
+    else:
+        m = PAPER_PARAMS.packets_for(args.bytes)
+        seeds = tuple(range(args.seed, args.seed + args.runs))
+        records = chaos_sweep(seeds=seeds, dests=args.dests, m=m, workers=args.workers)
+    print(survival_table(records))
+    if args.smoke:
+        print("chaos smoke OK: baseline clean, every fault scenario survived")
+    if args.out:
+        from .obs import run_manifest
+
+        payload = {
+            "version": 1,
+            "manifest": run_manifest(
+                seed=args.seed, extra={"command": "chaos", "smoke": bool(args.smoke)}
+            ),
+            "records": _json.loads(records_json(records)),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, sort_keys=True)
+        print(f"wrote {args.out}")
+    _maybe_stats(args)
+
+
 def _cmd_decoster(args) -> None:
     from .core import (
         decoster_latency,
@@ -546,6 +580,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bytes", type=int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_reliable)
+
+    p = sub.add_parser("chaos", help="fault-injection sweep (survival curves)")
+    p.add_argument("--smoke", action="store_true", help="CI-sized check: every scenario once")
+    p.add_argument("--seed", type=int, default=0, help="first sweep seed")
+    p.add_argument("--runs", type=int, default=3, help="seeds per scenario")
+    p.add_argument("--dests", type=int, default=31)
+    p.add_argument("--bytes", type=int, default=512)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the scenario grid (results identical for any count)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH", help="write records + manifest JSON")
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after the sweep",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("decoster", help="compare with De Coster [2] host packetization")
     p.add_argument("-n", type=int, default=64, help="multicast set size")

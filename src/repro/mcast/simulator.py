@@ -171,6 +171,14 @@ class MulticastSimulator:
     def _install_extras(self, registry: NICRegistry, tree: MulticastTree, message: Message) -> None:
         """Per-message NI setup beyond the forwarding table (hook)."""
 
+    def _post_build(self, env: Environment, registry: NICRegistry, pool: ChannelPool) -> None:
+        """Hook after the NIs exist but before any message is installed.
+
+        :class:`repro.faults.inject.FaultyMulticastSimulator` attaches
+        its fault injector here; the base simulator does nothing, so
+        fault-free runs are untouched.
+        """
+
     def _params_for(self, host: Node) -> SystemParams:
         factor = self.host_speed.get(host, 1.0)
         if factor == 1.0:
@@ -198,6 +206,20 @@ class MulticastSimulator:
         ``time_limit`` (µs of simulated time) turns a hung protocol —
         e.g. a recovery loop that never converges — into an immediate
         :class:`RuntimeError` instead of an unbounded run.
+        """
+        env, trace, pool, registry, messages = self._execute(
+            multicasts, time_limit=time_limit, strict=True
+        )
+        return [self._collect(registry, pool, message, trace) for message in messages]
+
+    def _execute(self, multicasts, time_limit: Optional[float] = None, strict: bool = True):
+        """Build and run one simulation; return its raw state.
+
+        The shared engine behind :meth:`run_many` (``strict=True``: a
+        run that cannot quiesce within ``time_limit`` raises) and
+        degraded fault runs (``strict=False``: faults legitimately leave
+        engines waiting forever, so hitting the limit just ends the
+        run).  Returns ``(env, trace, pool, registry, messages)``.
         """
         if not multicasts:
             raise ValueError("run_many needs at least one multicast")
@@ -230,6 +252,7 @@ class MulticastSimulator:
                 channel_model=self.channel_model,
                 tracer=tracer,
             )
+        self._post_build(env, registry, pool)
 
         messages = []
         for tree, num_packets in multicasts:
@@ -249,7 +272,7 @@ class MulticastSimulator:
             )
         if time_limit is not None:
             env.run(until=time_limit)
-            if len(env):
+            if strict and len(env):
                 raise RuntimeError(
                     f"simulation still active at time_limit={time_limit} µs "
                     f"({len(env)} events pending) — protocol livelock or "
@@ -261,7 +284,7 @@ class MulticastSimulator:
         self.last_trace = trace if self.collect_trace else None
         self.last_registry = registry
         self._publish_gauges(registry)
-        return [self._collect(registry, pool, message, trace) for message in messages]
+        return env, trace, pool, registry, messages
 
     def _publish_gauges(self, registry: NICRegistry) -> None:
         """Close every NI buffer monitor and publish run-level gauges.

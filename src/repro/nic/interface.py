@@ -135,6 +135,10 @@ class NetworkInterface:
             self.obs_track = None
         self.send_queue = send_queue_cls(env)
         self.recv_queue: Store = Store(env)
+        #: Fault gate installed by :mod:`repro.faults.inject` (``None``
+        #: = healthy NI; the engines test one attribute per packet, so
+        #: the no-fault path stays within noise of the pre-fault code).
+        self.fault_gate = None
         #: Packets held for forwarding/replication at this NI.
         self.forward_buffer = LevelMonitor(env)
         #: (msg_id, packet_index) -> NI receive completion time.
@@ -154,10 +158,15 @@ class NetworkInterface:
     def _send_engine(self):
         while True:
             job: SendJob = yield self.send_queue.get()
+            if self.fault_gate is not None and (yield from self.fault_gate.send_gate(job)):
+                continue
             start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_ns)
             route = self.router.route(self.host, job.destination)
             yield from self._transmit(self.env, self.pool, route, self.params)
+            delivered = True
+            if self.fault_gate is not None:
+                delivered = not (yield from self.fault_gate.link_gate(route, job))
             if self.trace.enabled:
                 self.trace.log(
                     "ni_send",
@@ -181,11 +190,14 @@ class NetworkInterface:
                 )
             if job.on_sent is not None:
                 job.on_sent()
-            self.registry.lookup(job.destination).recv_queue.put(job.packet)
+            if delivered:
+                self.registry.lookup(job.destination).recv_queue.put(job.packet)
 
     def _recv_engine(self):
         while True:
             packet: Packet = yield self.recv_queue.get()
+            if self.fault_gate is not None and (yield from self.fault_gate.recv_gate(packet)):
+                continue
             start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_nr)
             key = (packet.message.msg_id, packet.index)

@@ -106,10 +106,15 @@ class ReliableFPFSInterface(FPFSInterface):
         """As the base engine, but applies the pool's loss draw."""
         while True:
             job: SendJob = yield self.send_queue.get()
+            if self.fault_gate is not None and (yield from self.fault_gate.send_gate(job)):
+                continue
             start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_ns)
             route = self.router.route(self.host, job.destination)
             yield from self._transmit(self.env, self.pool, route, self.params)
+            delivered = True
+            if self.fault_gate is not None:
+                delivered = not (yield from self.fault_gate.link_gate(route, job))
             if self.trace.enabled:
                 self.trace.log(
                     "ni_send",
@@ -135,13 +140,15 @@ class ReliableFPFSInterface(FPFSInterface):
             dropped = isinstance(self.pool, LossyChannelPool) and self.pool.should_drop(
                 job.packet
             )
-            if not dropped:
+            if delivered and not dropped:
                 self.registry.lookup(job.destination).recv_queue.put(job.packet)
 
     # -- receive path ------------------------------------------------------------
     def _recv_engine(self):
         while True:
             payload = yield self.recv_queue.get()
+            if self.fault_gate is not None and (yield from self.fault_gate.recv_gate(payload)):
+                continue
             start = self.env.now if self.tracer.enabled else 0.0
             yield self.env.timeout(self.params.t_nr)
             if isinstance(payload, Nack):

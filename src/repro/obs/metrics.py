@@ -20,7 +20,7 @@ whole snapshot.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 from ..core.cache import cache_stats
 
@@ -50,9 +50,11 @@ class MetricsRegistry:
     from other threads.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, baseline: Optional[Mapping[str, Callable[[], dict]]] = None) -> None:
         self._lock = threading.Lock()
-        self._providers: Dict[str, Callable[[], dict]] = {}
+        #: Providers restored by :meth:`reset` (the registry's built-ins).
+        self._baseline: Dict[str, Callable[[], dict]] = dict(baseline or {})
+        self._providers: Dict[str, Callable[[], dict]] = dict(self._baseline)
 
     def register(self, name: str, provider: Callable[[], dict]) -> None:
         """Bind ``name`` to ``provider`` (replacing any previous binding)."""
@@ -65,6 +67,16 @@ class MetricsRegistry:
         """Drop ``name`` if registered (idempotent)."""
         with self._lock:
             self._providers.pop(name, None)
+
+    def reset(self) -> None:
+        """Restore the baseline providers, dropping everything else.
+
+        Test fixtures call this between tests so metrics assertions
+        never depend on which simulator/server ran earlier in the
+        session; the built-ins (e.g. ``"cache"``) survive.
+        """
+        with self._lock:
+            self._providers = dict(self._baseline)
 
     def set_gauges(self, name: str, values: Mapping[str, object]) -> None:
         """Publish a static gauge dict under ``name`` (copied now)."""
@@ -91,6 +103,6 @@ class MetricsRegistry:
 
 
 #: The process-wide registry: cache stats built in; the service and
-#: simulator layers register themselves as they come up.
-GLOBAL_METRICS = MetricsRegistry()
-GLOBAL_METRICS.register("cache", cache_snapshot)
+#: simulator layers register themselves as they come up.  ``reset()``
+#: drops those runtime registrations and keeps the cache built-in.
+GLOBAL_METRICS = MetricsRegistry({"cache": cache_snapshot})

@@ -26,7 +26,9 @@ Layers, innermost out:
   admission (explicit ``overloaded`` shed, never unbounded latency),
   and graceful drain.
 * :mod:`~repro.service.client` — :class:`PlanClient` (async) and the
-  :func:`plan_remote` / :func:`stats_remote` sync conveniences.
+  :func:`plan_remote` / :func:`stats_remote` sync conveniences, with
+  :class:`RetryPolicy` backoff over typed transient failures
+  (``unavailable`` / :class:`PlanTimeoutError` / ``overloaded``).
 
 Quickstart::
 
@@ -41,7 +43,15 @@ or in-process::
 """
 
 from .batching import PlanBatcher
-from .client import OverloadedError, PlanClient, PlanServiceError, plan_remote, stats_remote
+from .client import (
+    OverloadedError,
+    PlanClient,
+    PlanServiceError,
+    PlanTimeoutError,
+    RetryPolicy,
+    plan_remote,
+    stats_remote,
+)
 from .metrics import LatencyHistogram, ServiceMetrics
 from .planner import NodePlan, PlanRequest, PlanResult, plan
 from .server import PlanServer
@@ -56,6 +66,8 @@ __all__ = [
     "PlanResult",
     "PlanServer",
     "PlanServiceError",
+    "PlanTimeoutError",
+    "RetryPolicy",
     "ServiceMetrics",
     "plan",
     "plan_remote",

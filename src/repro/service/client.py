@@ -8,6 +8,13 @@ micro-batch).  Service-level failures surface as
 :class:`PlanServiceError` (with :class:`OverloadedError` split out so
 callers can branch on back-off without string-matching codes).
 
+Transient failures are retryable: :class:`RetryPolicy` drives
+exponential backoff with seeded (deterministic) jitter, and every
+failure mode carries a typed exception — connection refusal is
+``PlanServiceError(code="unavailable")``, a blown deadline is
+:class:`PlanTimeoutError`, shedding is :class:`OverloadedError` — so
+callers branch on class, never on string-matching codes.
+
 For scripts and the CLI, :func:`plan_remote` and :func:`stats_remote`
 wrap one connect/request/close round trip in ``asyncio.run``.
 """
@@ -17,7 +24,9 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
-from typing import Dict, Optional
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence
 
 from ..params import MachineParams
 from .planner import PlanResult
@@ -26,6 +35,8 @@ __all__ = [
     "OverloadedError",
     "PlanClient",
     "PlanServiceError",
+    "PlanTimeoutError",
+    "RetryPolicy",
     "plan_remote",
     "stats_remote",
 ]
@@ -44,12 +55,61 @@ class OverloadedError(PlanServiceError):
     """The server shed this request; retry with backoff."""
 
 
+class PlanTimeoutError(PlanServiceError):
+    """A client-side deadline expired before the response arrived."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__("timeout", message)
+
+
+#: Error codes that indicate a transient condition worth retrying.
+RETRYABLE_CODES = frozenset({"overloaded", "timeout", "unavailable"})
+
+
 def _raise_for(error: dict) -> None:
     code = error.get("code", "internal")
     message = error.get("message", "")
     if code == "overloaded":
         raise OverloadedError(code, message)
     raise PlanServiceError(code, message)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    ``delay(attempt)`` for attempt ``0, 1, 2, ...`` grows as
+    ``base_delay * multiplier**attempt`` capped at ``max_delay``, then
+    jittered by a factor drawn uniformly from ``[1 - jitter, 1]`` —
+    backing *off* the full delay, never beyond it, so a retry storm
+    decorrelates without extending worst-case latency.  The jitter RNG
+    is seeded, so a given policy instance replays the same delays
+    (deterministic tests; distinct seeds decorrelate distinct clients).
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay before each retry (``attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        for attempt in range(self.attempts - 1):
+            raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+            yield raw * (1.0 - self.jitter * rng.random())
 
 
 class PlanClient:
@@ -71,9 +131,31 @@ class PlanClient:
         self._closed = False
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "PlanClient":
-        """Open a connection and start the response router."""
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(
+        cls, host: str, port: int, timeout: Optional[float] = None
+    ) -> "PlanClient":
+        """Open a connection and start the response router.
+
+        Connection failures (refused, unreachable, DNS) raise
+        ``PlanServiceError(code="unavailable")`` rather than a raw
+        ``OSError``, and ``timeout`` seconds (if given) bounds the
+        attempt with :class:`PlanTimeoutError` — both retryable.
+        """
+        try:
+            if timeout is not None:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout
+                )
+            else:
+                reader, writer = await asyncio.open_connection(host, port)
+        except asyncio.TimeoutError:
+            raise PlanTimeoutError(
+                f"connect to {host}:{port} timed out after {timeout}s"
+            ) from None
+        except OSError as exc:
+            raise PlanServiceError(
+                "unavailable", f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
         return cls(reader, writer)
 
     async def __aenter__(self) -> "PlanClient":
@@ -83,8 +165,13 @@ class PlanClient:
         await self.close()
 
     # -- requests -----------------------------------------------------------
-    async def request(self, payload: dict) -> dict:
-        """Send one raw request object, await its routed response."""
+    async def request(self, payload: dict, timeout: Optional[float] = None) -> dict:
+        """Send one raw request object, await its routed response.
+
+        ``timeout`` (seconds) bounds the wait with
+        :class:`PlanTimeoutError`; the stale response, if it ever
+        arrives, is dropped by the router (its waiter is gone).
+        """
         if self._closed:
             raise RuntimeError("client is closed")
         request_id = next(self._ids)
@@ -94,21 +181,61 @@ class PlanClient:
         try:
             self._writer.write(json.dumps(payload).encode() + b"\n")
             await self._writer.drain()
-            return await future
+            if timeout is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, timeout)
+            except asyncio.TimeoutError:
+                raise PlanTimeoutError(
+                    f"no response to request {request_id} within {timeout}s"
+                ) from None
         finally:
             self._waiters.pop(request_id, None)
 
     async def plan(
-        self, n: int, m: int, params: Optional[MachineParams] = None
+        self,
+        n: int,
+        m: int,
+        params: Optional[MachineParams] = None,
+        *,
+        exclude: Sequence[int] = (),
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> PlanResult:
-        """Request a plan for ``(n, m[, params])``; raises on service errors."""
+        """Request a plan for ``(n, m[, params])``; raises on service errors.
+
+        ``exclude`` forwards dead chain positions for failure-aware
+        re-planning.  ``retry`` re-sends on transient failures
+        (:data:`RETRYABLE_CODES`: overloaded / timeout / server-side
+        fault injection reporting unavailable) with the policy's
+        backoff; the last failure propagates when attempts run out.
+        """
         payload: dict = {"type": "plan", "n": n, "m": m}
         if params is not None:
             payload["params"] = params.to_dict()
-        response = await self.request(payload)
+        if exclude:
+            payload["exclude"] = sorted(set(exclude))
+        delays = retry.delays() if retry is not None else iter(())
+        while True:
+            try:
+                response = await self.request(payload, timeout=timeout)
+                if not response.get("ok"):
+                    _raise_for(response.get("error", {}))
+                return PlanResult.from_dict(response["result"])
+            except PlanServiceError as exc:
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
+
+    async def health(self) -> dict:
+        """The server's health report (status, inflight, fault mode)."""
+        response = await self.request({"type": "health"})
         if not response.get("ok"):
             _raise_for(response.get("error", {}))
-        return PlanResult.from_dict(response["result"])
+        return response["health"]
 
     async def stats(self) -> dict:
         """The server's :meth:`~repro.service.metrics.ServiceMetrics.snapshot`."""
@@ -167,12 +294,19 @@ async def _one_shot(host: str, port: int, payload: dict) -> dict:
 
 
 def plan_remote(
-    host: str, port: int, n: int, m: int, params: Optional[MachineParams] = None
+    host: str,
+    port: int,
+    n: int,
+    m: int,
+    params: Optional[MachineParams] = None,
+    exclude: Sequence[int] = (),
 ) -> PlanResult:
     """Synchronous one-shot plan request (the CLI's ``--connect`` path)."""
     payload: dict = {"type": "plan", "n": n, "m": m}
     if params is not None:
         payload["params"] = params.to_dict()
+    if exclude:
+        payload["exclude"] = sorted(set(exclude))
     response = asyncio.run(_one_shot(host, port, payload))
     if not response.get("ok"):
         _raise_for(response.get("error", {}))

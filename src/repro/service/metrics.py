@@ -45,6 +45,11 @@ class Counter:
         """Current count."""
         return self._value
 
+    def reset(self) -> None:
+        """Back to zero (test isolation; production counters never reset)."""
+        with self._lock:
+            self._value = 0
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counter({self._value})"
 
@@ -92,6 +97,15 @@ class LatencyHistogram:
     def count(self) -> int:
         """Number of recorded observations."""
         return self._count
+
+    def reset(self) -> None:
+        """Drop every observation (bounds are kept)."""
+        with self._lock:
+            self._counts = [0] * (len(self._bounds) + 1)
+            self._count = 0
+            self._sum_us = 0.0
+            self._min_us = None
+            self._max_us = None
 
     def quantile(self, q: float) -> Optional[float]:
         """Upper bound (µs) of the bucket holding quantile ``q`` ∈ [0, 1]."""
@@ -162,6 +176,25 @@ class ServiceMetrics:
         self._batch_requests = 0
         self._batch_max = 0
         GLOBAL_METRICS.register("service", self.snapshot)
+
+    def reset(self) -> None:
+        """Zero every counter, histogram, and batch statistic."""
+        for counter in (
+            self.requests,
+            self.plans,
+            self.planned,
+            self.singleflight_hits,
+            self.batches,
+            self.shed,
+            self.timeouts,
+            self.errors,
+        ):
+            counter.reset()
+        self.plan_latency.reset()
+        with self._batch_lock:
+            self._batch_count = 0
+            self._batch_requests = 0
+            self._batch_max = 0
 
     def observe_batch(self, size: int) -> None:
         """Record one flushed batch of ``size`` unique requests."""

@@ -37,11 +37,18 @@ class PlanRequest:
     convention), so the smallest plannable multicast is ``n = 2``.
     Frozen and hashable — the batcher single-flights on request
     equality.
+
+    ``exclude`` names chain positions (``1..n-1``) known to be dead, so
+    re-planning after a failure is one call: the planner optimizes over
+    the ``n - f`` survivors and maps the schedule back onto the
+    surviving original positions.  The source (position 0) cannot be
+    excluded — with a dead source there is nothing to plan.
     """
 
     n: int
     m: int
     params: MachineParams = PAPER_MACHINE
+    exclude: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.n, bool) or not isinstance(self.n, int):
@@ -54,6 +61,19 @@ class PlanRequest:
             raise ValueError(f"m must be >= 1, got {self.m}")
         if not isinstance(self.params, MachineParams):
             raise ValueError(f"params must be MachineParams, got {type(self.params).__name__}")
+        exclude = tuple(sorted(set(self.exclude)))
+        for node in exclude:
+            if isinstance(node, bool) or not isinstance(node, int):
+                raise ValueError(f"exclude entries must be integers, got {node!r}")
+            if node == 0:
+                raise ValueError("cannot exclude the source (position 0)")
+            if not (1 <= node <= self.n - 1):
+                raise ValueError(f"exclude position {node} outside [1, {self.n - 1}]")
+        if self.n - len(exclude) < 2:
+            raise ValueError(
+                f"excluding {len(exclude)} of {self.n} nodes leaves no destinations"
+            )
+        object.__setattr__(self, "exclude", exclude)
 
 
 @dataclass(frozen=True)
@@ -131,6 +151,10 @@ class PlanResult:
     buffer_bound_us: float
     #: Per-node forwarding schedule, in chain order.
     schedule: Tuple[NodePlan, ...]
+    #: Chain positions excluded from the plan (sorted; empty when the
+    #: request named none) — schedule rows skip them, and ``t1``/steps
+    #: are for the surviving ``n - len(excluded)`` nodes.
+    excluded: Tuple[int, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-serializable wire form (inverse of :meth:`from_dict`)."""
@@ -145,6 +169,7 @@ class PlanResult:
             "latency_us": self.latency_us,
             "buffer_bound_us": self.buffer_bound_us,
             "schedule": [row.to_dict() for row in self.schedule],
+            "excluded": list(self.excluded),
         }
 
     @classmethod
@@ -161,6 +186,7 @@ class PlanResult:
             latency_us=payload["latency_us"],
             buffer_bound_us=payload["buffer_bound_us"],
             schedule=tuple(NodePlan.from_dict(row) for row in payload["schedule"]),
+            excluded=tuple(payload.get("excluded", ())),
         )
 
 
@@ -201,11 +227,30 @@ def plan(request: PlanRequest) -> PlanResult:
     tables) and from the batcher's executor workers.
     """
     n, m, params = request.n, request.m, request.params
-    k = optimal_k(n, m)
-    rows = _schedule_rows(n, k, m, params.ports)
+    excluded = request.exclude
+    n_eff = n - len(excluded)
+    k = optimal_k(n_eff, m)
+    rows = _schedule_rows(n_eff, k, m, params.ports)
+    if excluded:
+        # The memoized schedule is over canonical positions 0..n_eff-1;
+        # map those onto the surviving original positions, so callers
+        # can keep addressing their pre-failure chain.
+        dead = set(excluded)
+        survivors = [i for i in range(n) if i not in dead]
+        rows = tuple(
+            NodePlan(
+                node=survivors[row.node],
+                parent=None if row.parent is None else survivors[row.parent],
+                children=tuple(survivors[c] for c in row.children),
+                child_first_send=row.child_first_send,
+                first_recv=row.first_recv,
+                last_recv=row.last_recv,
+            )
+            for row in rows
+        )
     root_fanout = len(rows[0].children)
     max_fanout = max(len(row.children) for row in rows)
-    t1 = cached_steps_needed(n, k)
+    t1 = cached_steps_needed(n_eff, k)
     total_steps = max(row.last_recv for row in rows)
     return PlanResult(
         n=n,
@@ -218,4 +263,5 @@ def plan(request: PlanRequest) -> PlanResult:
         latency_us=params.t_s + total_steps * params.t_step + params.t_r,
         buffer_bound_us=max_fanout * params.t_sq,
         schedule=rows,
+        excluded=excluded,
     )

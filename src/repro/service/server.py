@@ -4,10 +4,15 @@ Wire protocol — one JSON object per line, newline-terminated, over
 TCP.  Requests carry a ``type`` and an optional ``id`` the response
 echoes back (so clients may pipeline):
 
-* ``{"type": "plan", "id": 1, "n": 64, "m": 8, "params": {...}?}`` →
+* ``{"type": "plan", "id": 1, "n": 64, "m": 8, "params": {...}?,
+  "exclude": [3, 7]?}`` →
   ``{"id": 1, "ok": true, "result": <PlanResult.to_dict()>}``
 * ``{"type": "stats"}`` → ``{"ok": true, "stats": <ServiceMetrics.snapshot()>}``
 * ``{"type": "ping"}`` → ``{"ok": true, "pong": true}``
+* ``{"type": "health"}`` → ``{"ok": true, "health": {"status":
+  "ok"|"draining", "inflight": ..., "max_inflight": ..., "fault_mode":
+  ...}}`` — bypasses admission, so health stays answerable while the
+  server sheds plan load.
 
 Errors come back as ``{"id": ..., "ok": false, "error": {"code": ...,
 "message": ...}}`` with codes ``bad_request``, ``overloaded``,
@@ -54,11 +59,19 @@ class _BadRequest(ValueError):
 def _parse_plan_request(payload: dict, max_n: int) -> PlanRequest:
     """Validate a plan payload at the wire boundary."""
     params_raw = payload.get("params")
+    exclude_raw = payload.get("exclude", ())
+    if not isinstance(exclude_raw, (list, tuple)):
+        raise _BadRequest(f"exclude must be a list of positions, got {exclude_raw!r}")
     try:
         params = (
             MachineParams() if params_raw is None else MachineParams.from_dict(params_raw)
         )
-        request = PlanRequest(n=payload.get("n"), m=payload.get("m"), params=params)
+        request = PlanRequest(
+            n=payload.get("n"),
+            m=payload.get("m"),
+            params=params,
+            exclude=tuple(exclude_raw),
+        )
     except (TypeError, ValueError) as exc:
         raise _BadRequest(str(exc)) from exc
     if request.n > max_n:
@@ -148,6 +161,37 @@ class PlanServer:
         self._request_tasks: Set[asyncio.Task] = set()
         self._writers: Set[asyncio.StreamWriter] = set()
         self._draining = False
+        self._fault_mode: Optional[str] = None
+        self._fault_remaining = 0
+        self._fault_delay = 0.0
+
+    # -- fault injection (testing hook) --------------------------------------
+    def inject_fault(self, code: str, count: int = 1, delay: float = 0.0) -> None:
+        """Make the next ``count`` plan requests fail with ``code``.
+
+        A testing hook for the client's retry path: ``code`` is the
+        error code to answer with (e.g. ``"overloaded"``,
+        ``"unavailable"``, ``"internal"``), and ``delay`` seconds are
+        slept first (to exercise client timeouts; pass a delay beyond
+        the client deadline with ``code="timeout"``-style scenarios).
+        ``count=0`` clears the mode.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._fault_mode = code if count else None
+        self._fault_remaining = count
+        self._fault_delay = delay
+
+    def health_report(self) -> dict:
+        """The health payload (also exposed on the wire as ``health``)."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._active_plans,
+            "max_inflight": self.max_inflight,
+            "fault_mode": self._fault_mode,
+        }
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -267,6 +311,8 @@ class PlanServer:
                 response = {"id": request_id, "ok": True, "stats": self.metrics.snapshot()}
             elif kind == "ping":
                 response = {"id": request_id, "ok": True, "pong": True}
+            elif kind == "health":
+                response = {"id": request_id, "ok": True, "health": self.health_report()}
             else:
                 raise _BadRequest(f"unknown request type {kind!r}")
         except _BadRequest as exc:
@@ -289,6 +335,15 @@ class PlanServer:
         await self._write(writer, write_lock, response)
 
     async def _handle_plan(self, payload: dict, request_id) -> dict:
+        if self._fault_remaining > 0:
+            self._fault_remaining -= 1
+            code = self._fault_mode or "internal"
+            if self._fault_remaining == 0:
+                self._fault_mode = None
+            if self._fault_delay:
+                await asyncio.sleep(self._fault_delay)
+            self.metrics.errors.inc()
+            return _error(request_id, code, "injected fault (testing mode)")
         request = _parse_plan_request(payload, self.max_n)
         if self._active_plans >= self.max_inflight:
             self.metrics.shed.inc()

@@ -12,6 +12,21 @@ from repro.params import SystemParams
 from repro.sim import Environment
 
 
+@pytest.fixture(autouse=True)
+def _reset_global_metrics():
+    """Drop runtime provider registrations between tests.
+
+    Simulators and plan servers register providers in
+    ``repro.obs.GLOBAL_METRICS`` as a side effect of running; without a
+    reset, metrics-asserting tests see whatever ran before them and
+    become order-dependent.
+    """
+    from repro.obs import GLOBAL_METRICS
+
+    yield
+    GLOBAL_METRICS.reset()
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh simulation environment."""

@@ -1,0 +1,177 @@
+"""FaultSchedule data model: validation, canonical order, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    poisson_schedule,
+    targeted_subtree_schedule,
+    worst_case_root_child,
+)
+from repro.network import host
+
+
+class TestEventValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(1.0, "cosmic_ray", host(1))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="time must be >= 0"):
+            FaultEvent(-1.0, "node_crash", host(1))
+
+    def test_stall_needs_duration(self):
+        with pytest.raises(ValueError, match="positive duration"):
+            FaultEvent(1.0, "ni_stall", host(1))
+
+    def test_slowdown_needs_factor_above_one(self):
+        with pytest.raises(ValueError, match="factor > 1"):
+            FaultEvent(1.0, "ni_slowdown", host(1), factor=1.0)
+
+    def test_buffer_exhaustion_needs_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FaultEvent(1.0, "buffer_exhaustion", host(1))
+
+    def test_degrade_needs_delay(self):
+        with pytest.raises(ValueError, match="delay_us"):
+            FaultEvent(1.0, "link_degrade", ("a", "b"))
+
+    def test_crash_is_permanent(self):
+        with pytest.raises(ValueError, match="permanent"):
+            FaultEvent(1.0, "node_crash", host(1), duration=5.0)
+
+    def test_every_kind_is_constructible(self):
+        builders = {
+            "node_crash": dict(),
+            "ni_stall": dict(duration=5.0),
+            "ni_slowdown": dict(factor=2.0, duration=5.0),
+            "link_drop": dict(),
+            "link_degrade": dict(delay_us=1.0),
+            "buffer_exhaustion": dict(capacity=2),
+        }
+        assert set(builders) == set(FAULT_KINDS)
+        for kind, extra in builders.items():
+            event = FaultEvent(3.0, kind, host(1), **extra)
+            assert event.kind == kind
+
+
+class TestScheduleOrdering:
+    def test_events_sorted_by_time(self):
+        late = FaultEvent(9.0, "node_crash", host(1))
+        early = FaultEvent(2.0, "ni_stall", host(2), duration=1.0)
+        schedule = FaultSchedule((late, early))
+        assert [e.time for e in schedule] == [2.0, 9.0]
+
+    def test_insertion_order_is_irrelevant(self):
+        a = FaultEvent(5.0, "node_crash", host(1))
+        b = FaultEvent(5.0, "link_drop", host(2))
+        c = FaultEvent(1.0, "ni_stall", host(3), duration=2.0)
+        assert FaultSchedule((a, b, c)) == FaultSchedule((c, b, a))
+        assert FaultSchedule((a, b, c)).to_json() == FaultSchedule((b, a, c)).to_json()
+
+    def test_len_bool_iter(self):
+        empty = FaultSchedule()
+        assert len(empty) == 0 and not empty
+        one = FaultSchedule((FaultEvent(1.0, "node_crash", host(1)),))
+        assert len(one) == 1 and bool(one)
+        assert [e.kind for e in one] == ["node_crash"]
+
+    def test_until_keeps_early_events(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "node_crash", host(1)),
+                FaultEvent(10.0, "node_crash", host(2)),
+            )
+        )
+        assert [e.target for e in schedule.until(5.0)] == [host(1)]
+
+    def test_node_targets_skips_link_faults(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.0, "node_crash", host(1)),
+                FaultEvent(2.0, "link_drop", ("a", "b")),
+            )
+        )
+        assert schedule.node_targets() == frozenset({host(1)})
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_tuple_targets(self):
+        schedule = FaultSchedule(
+            (
+                FaultEvent(1.5, "node_crash", host(3)),
+                FaultEvent(2.5, "link_degrade", (host(1), ("sw", 0)), delay_us=4.0),
+                FaultEvent(3.5, "ni_slowdown", host(2), factor=3.0, duration=10.0),
+            )
+        )
+        restored = FaultSchedule.from_json(schedule.to_json())
+        assert restored == schedule
+        # Targets come back as the same hashable tuples, not lists.
+        assert restored.events[0].target == host(3)
+        assert restored.events[1].target == (host(1), ("sw", 0))
+
+    def test_canonical_json_is_stable(self):
+        schedule = FaultSchedule((FaultEvent(1.0, "node_crash", host(1)),))
+        assert schedule.to_json() == schedule.to_json()
+        assert '"version":1' in schedule.to_json()
+
+    def test_unknown_event_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultEvent fields"):
+            FaultEvent.from_dict({"time": 1.0, "kind": "node_crash", "target": 1, "blast": 9})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            FaultSchedule.from_dict({"version": 2, "events": []})
+
+
+class TestGenerators:
+    HOSTS = [host(i) for i in range(16)]
+
+    def test_poisson_is_deterministic_per_seed(self):
+        kwargs = dict(rate=0.1, horizon=100.0, seed=7)
+        assert poisson_schedule(self.HOSTS, **kwargs) == poisson_schedule(self.HOSTS, **kwargs)
+        other = poisson_schedule(self.HOSTS, rate=0.1, horizon=100.0, seed=8)
+        assert other != poisson_schedule(self.HOSTS, **kwargs)
+
+    def test_poisson_respects_horizon_and_exclusions(self):
+        schedule = poisson_schedule(
+            self.HOSTS, rate=0.2, horizon=50.0, seed=3, exclude=(host(0),)
+        )
+        assert all(e.time <= 50.0 for e in schedule)
+        assert host(0) not in {e.target for e in schedule}
+
+    def test_poisson_validates_arguments(self):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_schedule(self.HOSTS, rate=0.0, horizon=10.0, seed=0)
+        with pytest.raises(ValueError, match="horizon"):
+            poisson_schedule(self.HOSTS, rate=1.0, horizon=0.0, seed=0)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            poisson_schedule(self.HOSTS, rate=1.0, horizon=10.0, seed=0, kinds=("nope",))
+        with pytest.raises(ValueError, match="no eligible"):
+            poisson_schedule(self.HOSTS[:1], rate=1.0, horizon=10.0, seed=0, exclude=(host(0),))
+
+    def test_targeted_subtree_kills_an_internal_node(self):
+        tree = build_kbinomial_tree(self.HOSTS, 2)
+        schedule = targeted_subtree_schedule(tree, at=20.0, seed=5)
+        assert len(schedule) == 1
+        event = schedule.events[0]
+        assert event.kind == "node_crash" and event.time == 20.0
+        assert event.target != tree.root
+        assert tree.children(event.target), "target must be a forwarding node"
+        assert schedule == targeted_subtree_schedule(tree, at=20.0, seed=5)
+
+    def test_worst_case_hits_the_first_root_child(self):
+        tree = build_kbinomial_tree(self.HOSTS, 2)
+        schedule = worst_case_root_child(tree, at=15.0)
+        assert schedule.events[0].target == tree.children(tree.root)[0]
+
+    def test_worst_case_requires_children(self):
+        from repro.core.trees import MulticastTree
+
+        with pytest.raises(ValueError, match="no children"):
+            worst_case_root_child(MulticastTree(host(0)), at=1.0)

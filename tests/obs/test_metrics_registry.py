@@ -82,3 +82,25 @@ def test_sim_gauges_mirror_simulator_attribute():
     gauges = machine.simulator.last_gauges
     assert gauges == GLOBAL_METRICS.snapshot()["sim"]
     assert gauges["ni_buffer_avg"] >= 0.0
+
+
+def test_reset_restores_the_baseline_providers():
+    reg = MetricsRegistry({"base": lambda: {"v": 1}})
+    reg.register("runtime", lambda: {"v": 2})
+    reg.set_gauges("gauges", {"v": 3})
+    reg.reset()
+    assert reg.names() == ("base",)
+    assert reg.snapshot() == {"base": {"v": 1}}
+
+
+def test_global_reset_keeps_the_cache_builtin():
+    GLOBAL_METRICS.register("ephemeral", lambda: {})
+    GLOBAL_METRICS.reset()
+    assert GLOBAL_METRICS.names() == ("cache",)
+
+
+def test_fixture_isolates_runtime_registrations():
+    # The autouse conftest fixture resets GLOBAL_METRICS after every
+    # test, so runtime registrations made by earlier tests (simulators,
+    # plan servers) must never be visible here.
+    assert GLOBAL_METRICS.names() == ("cache",)

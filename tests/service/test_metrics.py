@@ -114,3 +114,33 @@ class TestServiceMetrics:
             "timeouts",
             "errors",
         }
+
+
+class TestReset:
+    def test_counter_reset(self):
+        counter = Counter()
+        counter.inc(5)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_histogram_reset_keeps_bounds(self):
+        hist = LatencyHistogram(bounds_us=(1.0, 10.0, 100.0))
+        hist.record(0.00005)
+        hist.reset()
+        assert hist.count == 0
+        snap = hist.snapshot()
+        assert snap["mean_us"] is None and snap["p99_us"] is None
+        hist.record(0.00005)  # still usable after reset
+        assert hist.count == 1
+
+    def test_service_metrics_reset_zeroes_everything(self):
+        metrics = ServiceMetrics()
+        metrics.requests.inc(3)
+        metrics.errors.inc()
+        metrics.plan_latency.record(0.001)
+        metrics.observe_batch(4)
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert all(v == 0 for v in snap["counters"].values())
+        assert snap["plan_latency"]["count"] == 0
+        assert snap["batch"] == {"count": 0, "mean_size": None, "max_size": 0}

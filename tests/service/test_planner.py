@@ -96,3 +96,43 @@ class TestRequestValidation:
         b = PlanRequest(n=16, m=8)
         assert a == b and hash(a) == hash(b)
         assert a != PlanRequest(n=16, m=8, params=MachineParams(t_sq=2.0))
+
+
+class TestExclude:
+    def test_plan_over_survivors_matches_reduced_n(self):
+        full = plan(PlanRequest(n=6, m=2))
+        reduced = plan(PlanRequest(n=8, m=2, exclude=(3, 5)))
+        assert reduced.excluded == (3, 5)
+        assert reduced.k == full.k
+        assert reduced.t1 == full.t1
+        assert reduced.total_steps == full.total_steps
+
+    def test_rows_remap_onto_surviving_positions(self):
+        result = plan(PlanRequest(n=8, m=2, exclude=(3, 5)))
+        survivors = [0, 1, 2, 4, 6, 7]
+        assert [row.node for row in result.schedule] == survivors
+        for row in result.schedule:
+            assert row.parent is None or row.parent in survivors
+            assert all(child in survivors for child in row.children)
+
+    def test_exclude_is_sorted_and_deduplicated(self):
+        request = PlanRequest(n=8, m=2, exclude=(5, 3, 5))
+        assert request.exclude == (3, 5)
+
+    def test_exclude_round_trips_the_wire_format(self):
+        result = plan(PlanRequest(n=8, m=2, exclude=(3, 5)))
+        assert PlanResult.from_dict(json.loads(json.dumps(result.to_dict()))) == result
+
+    @pytest.mark.parametrize(
+        "exclude,fragment",
+        [
+            ((0,), "source"),
+            ((8,), "outside"),
+            ((-1,), "outside"),
+            (("x",), "integers"),
+            ((1, 2, 3, 4, 5, 6, 7), "leaves no destinations"),
+        ],
+    )
+    def test_invalid_exclusions_rejected(self, exclude, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            PlanRequest(n=8, m=2, exclude=exclude)

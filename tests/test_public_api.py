@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.mcast",
     "repro.analysis",
     "repro.obs",
+    "repro.faults",
 ]
 
 
