@@ -238,8 +238,14 @@ def _latency_grid(
     trees: Sequence[str],
     workers: int,
     tracer=None,
+    checkpoint=None,
 ) -> Dict[Tuple[int, int, str], float]:
-    """All (d, m, tree) mean latencies, fanned out over ``workers``."""
+    """All (d, m, tree) mean latencies, fanned out over ``workers``.
+
+    ``checkpoint`` journals completed chunks (see
+    :func:`repro.analysis.sweep.run_sweep`): a killed figure sweep
+    resumes from where it died, byte-identically.
+    """
     from .sweep import run_sweep
 
     points = run_sweep(
@@ -247,6 +253,7 @@ def _latency_grid(
         {"d": list(dest_counts), "m": list(m_values), "tree": list(trees)},
         workers=workers,
         tracer=tracer,
+        checkpoint=checkpoint,
     )
     return {(p["d"], p["m"], p["tree"]): p.value for p in points}
 
@@ -257,9 +264,10 @@ def fig13a_latency_vs_m(
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
     workers: int = 1,
     tracer=None,
+    checkpoint=None,
 ) -> Dict[int, List[float]]:
     """Fig. 13(a): k-binomial latency vs m, one curve per dest count."""
-    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer)
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer, checkpoint=checkpoint)
     return {d: [grid[(d, m, "kbinomial")] for m in m_values] for d in dest_counts}
 
 
@@ -269,9 +277,10 @@ def fig13b_latency_vs_n(
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
     workers: int = 1,
     tracer=None,
+    checkpoint=None,
 ) -> Dict[int, List[float]]:
     """Fig. 13(b): k-binomial latency vs multicast set size, per m."""
-    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer)
+    grid = _latency_grid(config, dest_counts, m_values, ("kbinomial",), workers, tracer=tracer, checkpoint=checkpoint)
     return {m: [grid[(d, m, "kbinomial")] for d in dest_counts] for m in m_values}
 
 
@@ -281,9 +290,10 @@ def fig14a_comparison_vs_m(
     m_values: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
     workers: int = 1,
     tracer=None,
+    checkpoint=None,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(a): binomial vs optimal k-binomial latency vs m."""
-    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer)
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer, checkpoint=checkpoint)
     return {
         d: {
             tree: [grid[(d, m, tree)] for m in m_values]
@@ -299,9 +309,10 @@ def fig14b_comparison_vs_n(
     dest_counts: Sequence[int] = (7, 15, 23, 31, 39, 47, 55, 63),
     workers: int = 1,
     tracer=None,
+    checkpoint=None,
 ) -> Dict[int, Dict[str, List[float]]]:
     """Fig. 14(b): binomial vs optimal k-binomial latency vs set size."""
-    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer)
+    grid = _latency_grid(config, dest_counts, m_values, ("binomial", "kbinomial"), workers, tracer=tracer, checkpoint=checkpoint)
     return {
         m: {
             tree: [grid[(d, m, tree)] for d in dest_counts]

@@ -8,19 +8,28 @@ CLI's ``--csv`` option routes through here).
 from __future__ import annotations
 
 import csv
+import io
 from pathlib import Path
 from typing import Mapping, Sequence
+
+from ..durable.atomic import atomic_write_text
 
 __all__ = ["write_csv", "series_to_csv"]
 
 
 def write_csv(path, headers: Sequence[str], rows: Sequence[Sequence]) -> Path:
-    """Write ``headers``/``rows`` to ``path``; returns the Path written."""
+    """Write ``headers``/``rows`` to ``path``, atomically.
+
+    Rendered in memory first, then placed with temp + fsync + rename —
+    an interrupted export leaves the previous file intact rather than a
+    half-written CSV that silently truncates a figure.
+    """
     target = Path(path)
-    with target.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    atomic_write_text(target, buffer.getvalue())
     return target
 
 

@@ -53,9 +53,34 @@ from .core import (
     predicted_steps,
     render_tree,
 )
+from .durable.errors import ValidationError, check_positive_int, check_positive_number
 from .machine import Machine
 
 __all__ = ["main"]
+
+#: (attribute, validator) for every numeric option that must be a
+#: positive integer / number; checked before any work is scheduled so a
+#: typo'd ``--workers 0`` or NaN timeout fails in milliseconds, not
+#: after a sweep has forked processes.
+_POSITIVE_INT_ARGS = (
+    "workers", "topologies", "dest_sets", "runs", "dests", "bytes",
+    "max_m", "max_inflight", "max_batch", "max_n", "ports",
+)
+_POSITIVE_NUMBER_ARGS = ("timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq")
+
+
+def _validate_args(args) -> None:
+    """Reject non-positive/NaN numeric options with a typed error."""
+    for name in _POSITIVE_INT_ARGS:
+        value = getattr(args, name, None)
+        if value is not None:
+            check_positive_int(f"--{name.replace('_', '-')}", value)
+    for name in _POSITIVE_NUMBER_ARGS:
+        value = getattr(args, name, None)
+        if value is not None:
+            check_positive_number(f"--{name.replace('_', '-')}", value)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        raise ValidationError("--resume requires --checkpoint PATH")
 
 
 def _config(args) -> ExperimentConfig:
@@ -92,6 +117,33 @@ def _finish_trace(args, tracer, seed=None, params=None) -> None:
 
     manifest = run_manifest(params=params, seed=seed, extra={"command": args.command})
     print(f"wrote {write_chrome_trace(args.trace_out, tracer, manifest)}")
+
+
+def _checkpoint_of(args):
+    """The checkpoint path for a sweep command, validated for --resume."""
+    import os as _os
+
+    path = getattr(args, "checkpoint", None)
+    if path and getattr(args, "resume", False) and not _os.path.exists(path):
+        raise ValidationError(
+            f"--resume given but checkpoint {path!r} does not exist; "
+            "drop --resume for a fresh run"
+        )
+    return path
+
+
+def _report_checkpoint(args) -> None:
+    """Say what the checkpoint did (the CI smoke greps for 'resumed')."""
+    if not getattr(args, "checkpoint", None):
+        return
+    from .durable import DURABLE_METRICS
+
+    snap = DURABLE_METRICS.snapshot()
+    print(
+        f"checkpoint {args.checkpoint}: resumed {snap['chunks_resumed']} "
+        f"chunk(s) ({snap['points_resumed']} points), journaled "
+        f"{snap['chunks_journaled']} new"
+    )
 
 
 def _maybe_stats(args) -> None:
@@ -135,7 +187,7 @@ def _cmd_fig12b(args) -> None:
 def _cmd_fig13a(args) -> None:
     config = _config(args)
     tracer = _maybe_tracer(args)
-    data = fig13a_latency_vs_m(config, workers=args.workers, tracer=tracer)
+    data = fig13a_latency_vs_m(config, workers=args.workers, tracer=tracer, checkpoint=_checkpoint_of(args))
     m_values = (1, 2, 4, 8, 16, 24, 32)
     series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
     print(
@@ -147,13 +199,14 @@ def _cmd_fig13a(args) -> None:
         )
     )
     _maybe_csv(args, "m", list(m_values), series)
+    _report_checkpoint(args)
     _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig13b(args) -> None:
     config = _config(args)
     tracer = _maybe_tracer(args)
-    data = fig13b_latency_vs_n(config, workers=args.workers, tracer=tracer)
+    data = fig13b_latency_vs_n(config, workers=args.workers, tracer=tracer, checkpoint=_checkpoint_of(args))
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     print(
         render_series(
@@ -163,13 +216,14 @@ def _cmd_fig13b(args) -> None:
             title="Fig. 13(b): k-binomial latency (us) vs set size",
         )
     )
+    _report_checkpoint(args)
     _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig14a(args) -> None:
     config = _config(args)
     tracer = _maybe_tracer(args)
-    data = fig14a_comparison_vs_m(config, workers=args.workers, tracer=tracer)
+    data = fig14a_comparison_vs_m(config, workers=args.workers, tracer=tracer, checkpoint=_checkpoint_of(args))
     m_values = (1, 2, 4, 8, 16, 24, 32)
     for d, curves in data.items():
         print(
@@ -182,13 +236,14 @@ def _cmd_fig14a(args) -> None:
             )
         )
         print()
+    _report_checkpoint(args)
     _finish_trace(args, tracer, seed=config.seed)
 
 
 def _cmd_fig14b(args) -> None:
     config = _config(args)
     tracer = _maybe_tracer(args)
-    data = fig14b_comparison_vs_n(config, workers=args.workers, tracer=tracer)
+    data = fig14b_comparison_vs_n(config, workers=args.workers, tracer=tracer, checkpoint=_checkpoint_of(args))
     dests = (7, 15, 23, 31, 39, 47, 55, 63)
     for m, curves in data.items():
         print(
@@ -201,6 +256,7 @@ def _cmd_fig14b(args) -> None:
             )
         )
         print()
+    _report_checkpoint(args)
     _finish_trace(args, tracer, seed=config.seed)
 
 
@@ -345,12 +401,17 @@ def _cmd_chaos(args) -> None:
     else:
         m = PAPER_PARAMS.packets_for(args.bytes)
         seeds = tuple(range(args.seed, args.seed + args.runs))
-        records = chaos_sweep(seeds=seeds, dests=args.dests, m=m, workers=args.workers)
+        records = chaos_sweep(
+            seeds=seeds, dests=args.dests, m=m, workers=args.workers,
+            checkpoint=_checkpoint_of(args),
+        )
     print(survival_table(records))
     if args.smoke:
         print("chaos smoke OK: baseline clean, every fault scenario survived")
     if args.out:
         from .obs import run_manifest
+
+        from .durable import atomic_write_json
 
         payload = {
             "version": 1,
@@ -359,9 +420,9 @@ def _cmd_chaos(args) -> None:
             ),
             "records": _json.loads(records_json(records)),
         }
-        with open(args.out, "w", encoding="utf-8") as fh:
-            _json.dump(payload, fh, sort_keys=True)
+        atomic_write_json(args.out, payload, sort_keys=True)
         print(f"wrote {args.out}")
+    _report_checkpoint(args)
     _maybe_stats(args)
 
 
@@ -409,9 +470,10 @@ def _machine_params(args):
 def _cmd_serve(args) -> None:
     import asyncio
 
-    from .service import PlanServer
+    from .service import PlanServer, RequestJournal
 
     tracer = _maybe_tracer(args)
+    journal = RequestJournal(args.journal) if args.journal else None
     server = PlanServer(
         host=args.host,
         port=args.port,
@@ -422,12 +484,18 @@ def _cmd_serve(args) -> None:
         request_timeout=args.timeout,
         max_n=args.max_n,
         tracer=tracer,
+        journal=journal,
     )
 
     async def _run() -> None:
         # Start before serving so the bound (possibly ephemeral) port
         # is printed; run_until_signal() then drains on SIGTERM/SIGINT.
         await server.start()
+        if journal is not None:
+            print(
+                f"request journal {args.journal}: recovered "
+                f"{journal.recovered_entries} entries", flush=True,
+            )
         print(f"plan service listening on {server.host}:{server.port}", flush=True)
         await server.run_until_signal()
 
@@ -503,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--trace-out", dest="trace_out", default=None, metavar="PATH",
             help="write a Chrome trace of the sweep (open in Perfetto)",
+        )
+        p.add_argument(
+            "--checkpoint", default=None, metavar="PATH",
+            help="journal completed chunks here; rerun with the same path "
+                 "to resume a killed sweep (byte-identical results)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="require the --checkpoint file to already exist",
         )
 
     p = sub.add_parser("fig12a", help="optimal k vs packets (analytic)")
@@ -593,6 +670,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--out", default=None, metavar="PATH", help="write records + manifest JSON")
     p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed chunks here; rerun with the same path to "
+             "resume a killed sweep",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="require the --checkpoint file to already exist",
+    )
+    p.add_argument(
         "--stats", action="store_true",
         help="print the unified metrics snapshot after the sweep",
     )
@@ -620,6 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0, help="per-request deadline s")
     p.add_argument("--max-n", type=int, default=65536, help="largest accepted n")
     p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal accepted plan requests; on restart they are replayed "
+             "to pre-warm the plan caches (warm restart)",
+    )
+    p.add_argument(
         "--trace-out", dest="trace_out", default=None, metavar="PATH",
         help="write a Chrome trace of handled requests on shutdown",
     )
@@ -644,7 +735,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "tree", None) is not None and str(args.tree).isdigit():
         args.tree = int(args.tree)
-    args.func(args)
+    try:
+        _validate_args(args)
+        args.func(args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

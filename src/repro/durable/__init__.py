@@ -1,0 +1,74 @@
+"""Durable execution: crash-safe checkpoints, corruption-proof stores.
+
+The simulation and service layers assume a well-behaved host; this
+package drops that assumption.  It makes the pipeline that produces
+the paper's artifacts *restartable* (a SIGKILL mid-sweep costs one
+chunk, not hours of ProcessPool work) and *self-verifying* (a torn or
+tampered JSON artifact raises a typed error at load, never a silent
+wrong figure):
+
+* :mod:`~repro.durable.atomic` — ``atomic_write_json`` (temp + fsync +
+  rename, CRC-stamped) and ``safe_load_json`` (checksum + schema
+  version verification) behind every JSON artifact the repo writes.
+* :mod:`~repro.durable.journal` — the write-ahead chunk journal behind
+  ``run_sweep(checkpoint=...)``: fsynced, checksummed appends; torn
+  tails self-heal; fingerprints refuse resumes against changed sweeps.
+* :mod:`~repro.durable.watchdog` — per-chunk deadlines over the sweep
+  workers: hung or OOM-killed chunks are killed, retried with seeded
+  backoff, and surfaced as :class:`ChunkFailure` records instead of
+  hanging the run.
+* :mod:`~repro.durable.errors` — the typed failure vocabulary,
+  including :class:`ValidationError` for refusing bad arguments before
+  any work is scheduled.
+* :mod:`~repro.durable.metrics` — checkpoint/recovery counters, merged
+  into :data:`repro.obs.GLOBAL_METRICS` as the ``"durable"`` provider.
+
+The cardinal invariant, pinned by ``tests/durable/test_kill_resume.py``
+and ``benchmarks/bench_durable_overhead.py``: a sweep killed and
+resumed from its checkpoint produces a store *byte-identical* (modulo
+manifest timestamps) to an uninterrupted run, and a sweep with no
+checkpoint runs the exact pre-durability code path.
+"""
+
+from .atomic import (
+    atomic_write_json,
+    atomic_write_text,
+    crc32_of,
+    quarantine,
+    safe_load_json,
+)
+from .errors import (
+    CheckpointMismatchError,
+    ChunkRetryError,
+    DurabilityError,
+    StoreCorruptionError,
+    StoreVersionError,
+    ValidationError,
+    check_positive_int,
+    check_positive_number,
+)
+from .journal import ChunkJournal, sweep_fingerprint
+from .metrics import DURABLE_METRICS, DurableMetrics
+from .watchdog import ChunkFailure, run_chunks_watchdog
+
+__all__ = [
+    "DURABLE_METRICS",
+    "DurableMetrics",
+    "CheckpointMismatchError",
+    "ChunkFailure",
+    "ChunkJournal",
+    "ChunkRetryError",
+    "DurabilityError",
+    "StoreCorruptionError",
+    "StoreVersionError",
+    "ValidationError",
+    "atomic_write_json",
+    "atomic_write_text",
+    "check_positive_int",
+    "check_positive_number",
+    "crc32_of",
+    "quarantine",
+    "run_chunks_watchdog",
+    "safe_load_json",
+    "sweep_fingerprint",
+]

@@ -1,0 +1,220 @@
+"""Worker watchdog: per-chunk deadlines, kills, and budgeted retries.
+
+A ``ProcessPoolExecutor`` has no answer for a worker that *hangs* (a
+pathological grid point, a deadlock) or dies without a word (the OOM
+killer): ``future.result()`` blocks forever, and the whole sweep hangs
+with it.  The watchdog runs each chunk in its own
+:mod:`multiprocessing` process with an explicit deadline:
+
+* a chunk that exceeds ``chunk_timeout`` seconds is killed
+  (``terminate`` then ``kill``) and retried;
+* a chunk whose process dies without delivering a result (OOM-kill,
+  segfault, unhandled exception) is retried;
+* retries are budgeted (``chunk_retries`` attempts total) and spaced
+  by a :class:`~repro.service.client.RetryPolicy`'s seeded backoff, so
+  a flaky chunk gets decorrelated second chances while a truly
+  poisoned one fails fast;
+* a chunk that exhausts its budget becomes a :class:`ChunkFailure`
+  record — the sweep *reports* it (store manifest, metrics, typed
+  error) instead of hanging.
+
+Up to ``workers`` chunk processes run concurrently; completed chunks
+are handed to the caller the moment they finish (completion order), so
+the checkpoint journal absorbs them immediately — results keyed by
+chunk index keep the final merge deterministic regardless.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .metrics import DURABLE_METRICS
+
+__all__ = ["ChunkFailure", "run_chunks_watchdog"]
+
+#: Scheduler poll interval (seconds): fine enough that a deadline is
+#: enforced promptly, coarse enough to cost nothing next to real work.
+_POLL_INTERVAL = 0.005
+
+
+@dataclass(frozen=True)
+class ChunkFailure:
+    """One chunk that exhausted its watchdog retry budget."""
+
+    #: Index of the chunk within the sweep's chunk list.
+    chunk_index: int
+    #: Grid points the chunk carried (all unmeasured after the failure).
+    points: int
+    #: Attempts consumed (initial try + retries).
+    attempts: int
+    #: Human-readable cause of the *last* attempt's failure.
+    reason: str
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (embedded in store manifests)."""
+        return {
+            "chunk_index": self.chunk_index,
+            "points": self.points,
+            "attempts": self.attempts,
+            "reason": self.reason,
+        }
+
+
+def _run_chunk(conn, measure: Callable, tasks) -> None:
+    """Child-process body: measure every task, ship results or the error."""
+    try:
+        out = [(index, measure(**params)) for index, params in tasks]
+        conn.send(("ok", out))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One live chunk process and its deadline."""
+
+    def __init__(self, measure, chunk_index, tasks, attempt, timeout):
+        ctx = multiprocessing.get_context()
+        self.parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_run_chunk, args=(child_conn, measure, tasks), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.chunk_index = chunk_index
+        self.tasks = tasks
+        self.attempt = attempt
+        self.deadline = None if timeout is None else time.monotonic() + timeout
+
+    def kill(self) -> None:
+        self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - terminate ignored
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.parent_conn.close()
+
+    def outcome(self) -> Optional[Tuple[str, object]]:
+        """("ok", results) / ("error", reason) once decided, else None."""
+        if self.parent_conn.poll(0):
+            try:
+                kind, payload = self.parent_conn.recv()
+                self.process.join()
+            except EOFError:
+                # Pipe EOF with no message: the worker died mid-chunk.
+                self.process.join()
+                code = self.process.exitcode
+                kind = "error"
+                payload = f"worker died without a result (exit code {code})"
+            self.parent_conn.close()
+            return kind, payload
+        if not self.process.is_alive():
+            # Dead with nothing on the pipe: OOM-killed or segfaulted.
+            code = self.process.exitcode
+            self.parent_conn.close()
+            return "error", f"worker died without a result (exit code {code})"
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            self.kill()
+            return "error", "chunk exceeded its deadline and was killed"
+        return None
+
+
+def run_chunks_watchdog(
+    measure: Callable,
+    chunks: Sequence[Tuple[int, Sequence[Tuple[int, dict]]]],
+    *,
+    workers: int,
+    chunk_timeout: Optional[float],
+    chunk_retries: int,
+    retry_delays: Callable[[], Iterator[float]],
+    on_chunk_done: Callable[[int, List[Tuple[int, object]]], None],
+) -> List[ChunkFailure]:
+    """Run ``chunks`` under deadlines; return the failures (often empty).
+
+    Parameters
+    ----------
+    measure:
+        The per-point measure (picklable, as for any parallel sweep).
+    chunks:
+        ``(chunk_index, [(grid index, params), ...])`` work items.
+    workers:
+        Concurrent chunk processes.
+    chunk_timeout:
+        Per-attempt deadline in seconds (``None`` = no deadline; the
+        watchdog still catches silently-dying workers).
+    chunk_retries:
+        Total attempts allowed per chunk (>= 1).
+    retry_delays:
+        Zero-argument callable yielding a fresh backoff-delay iterator
+        per chunk (``RetryPolicy(...).delays``); exhausted iterators
+        retry immediately.
+    on_chunk_done:
+        Called with ``(chunk_index, results)`` the moment a chunk
+        succeeds — the checkpoint-journal hook.
+    """
+    pending: List[Tuple[float, int, Sequence, int, Iterator[float]]] = [
+        (0.0, chunk_index, tasks, 1, retry_delays()) for chunk_index, tasks in chunks
+    ]
+    active: List[_Attempt] = []
+    delays_by_chunk: Dict[int, Iterator[float]] = {}
+    failures: List[ChunkFailure] = []
+
+    while pending or active:
+        now = time.monotonic()
+        # Launch every eligible chunk into free worker slots.
+        still_waiting = []
+        for item in pending:
+            not_before, chunk_index, tasks, attempt, delays = item
+            if len(active) < workers and now >= not_before:
+                delays_by_chunk[chunk_index] = delays
+                active.append(
+                    _Attempt(measure, chunk_index, tasks, attempt, chunk_timeout)
+                )
+            else:
+                still_waiting.append(item)
+        pending = still_waiting
+
+        finished = []
+        for attempt in active:
+            verdict = attempt.outcome()
+            if verdict is None:
+                continue
+            finished.append(attempt)
+            kind, payload = verdict
+            if kind == "ok":
+                on_chunk_done(attempt.chunk_index, list(payload))
+            elif attempt.attempt < chunk_retries:
+                DURABLE_METRICS.inc("chunk_retries")
+                delays = delays_by_chunk[attempt.chunk_index]
+                backoff = next(delays, 0.0)
+                pending.append(
+                    (
+                        time.monotonic() + backoff,
+                        attempt.chunk_index,
+                        attempt.tasks,
+                        attempt.attempt + 1,
+                        delays,
+                    )
+                )
+            else:
+                DURABLE_METRICS.inc("chunk_failures")
+                failures.append(
+                    ChunkFailure(
+                        chunk_index=attempt.chunk_index,
+                        points=len(attempt.tasks),
+                        attempts=attempt.attempt,
+                        reason=str(payload),
+                    )
+                )
+        for attempt in finished:
+            active.remove(attempt)
+        if pending or active:
+            time.sleep(_POLL_INTERVAL)
+    return failures

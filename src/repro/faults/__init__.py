@@ -20,7 +20,15 @@ gates are installed and results are byte-identical to the fault-free
 simulator (``benchmarks/bench_faults_overhead.py`` enforces it).
 """
 
-from .chaos import SCENARIOS, chaos_point, chaos_smoke, chaos_sweep, records_json, survival_table
+from .chaos import (
+    SCENARIOS,
+    chaos_point,
+    chaos_smoke,
+    chaos_sweep,
+    load_records,
+    records_json,
+    survival_table,
+)
 from .inject import DegradedResult, FaultInjector, FaultyMulticastSimulator, LinkFaultState, NIFaultGate
 from .repair import RepairPlan, repair_plan, surviving_chain, unreachable_set
 from .schedule import (
@@ -51,6 +59,7 @@ __all__ = [
     "SCENARIOS",
     "chaos_point",
     "chaos_sweep",
+    "load_records",
     "chaos_smoke",
     "records_json",
     "survival_table",

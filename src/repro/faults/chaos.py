@@ -29,15 +29,18 @@ for any worker count (the acceptance test pins workers=1 vs 4).
 
 from __future__ import annotations
 
+import json
+import os
 import random
 from functools import partial
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from ..analysis.experiments import _testbed
 from ..analysis.sweep import run_sweep
 from ..analysis.tables import render_table
 from ..core.kbinomial import build_kbinomial_tree
 from ..core.optimal import optimal_k
+from ..durable.errors import StoreCorruptionError
 from ..mcast.orderings import chain_for
 from ..obs.tracer import Tracer
 from .inject import FaultyMulticastSimulator
@@ -54,6 +57,7 @@ __all__ = [
     "chaos_point",
     "chaos_sweep",
     "chaos_smoke",
+    "load_records",
     "records_json",
     "survival_table",
 ]
@@ -148,27 +152,57 @@ def chaos_sweep(
     *,
     workers: int = 1,
     tracer: Optional[Tracer] = None,
+    checkpoint: Union[None, str, os.PathLike] = None,
 ) -> List[dict]:
     """All scenario × seed chaos records, in grid order.
 
     Results are independent of ``workers`` (grid-order merge), so the
     canonical :func:`records_json` serialization is byte-identical for
-    any worker count.
+    any worker count.  ``checkpoint`` journals completed chunks so a
+    killed chaos campaign resumes instead of restarting — byte-identical
+    either way (the durable layer's cardinal invariant).
     """
     points = run_sweep(
         partial(chaos_point, dests=dests, m=m),
         {"scenario": list(scenarios), "seed": list(seeds)},
         workers=workers,
         tracer=tracer,
+        checkpoint=checkpoint,
     )
     return [p.value for p in points]
 
 
 def records_json(records: Sequence[dict]) -> str:
     """Canonical JSON for a record list (sorted keys, compact, stable)."""
-    import json
-
     return json.dumps(list(records), sort_keys=True, separators=(",", ":"))
+
+
+def load_records(path: Union[str, os.PathLike]) -> List[dict]:
+    """Load a chaos record list written from :func:`records_json`.
+
+    Raises :class:`~repro.durable.errors.StoreCorruptionError` (never a
+    raw ``JSONDecodeError``) on truncated, tampered, or wrong-shape
+    input — downstream survival analysis must not chew on half a file.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise StoreCorruptionError(f"cannot read chaos records {path!r}: {exc}") from exc
+    try:
+        records = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruptionError(
+            f"chaos records {path!r} are not valid JSON ({exc}); the file is "
+            "truncated or corrupt — regenerate it with `repro-mcast chaos --out`"
+        ) from exc
+    if not isinstance(records, list) or not all(isinstance(r, dict) for r in records):
+        raise StoreCorruptionError(
+            f"chaos records {path!r} must be a JSON array of objects; "
+            "regenerate the file with `repro-mcast chaos --out`"
+        )
+    return records
 
 
 def survival_table(records: Sequence[dict]) -> str:

@@ -17,6 +17,7 @@ import json
 import os
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..durable.atomic import atomic_write_json, atomic_write_text
 from .tracer import TraceEvent, Tracer
 
 __all__ = [
@@ -75,12 +76,17 @@ def to_chrome(source: EventSource, manifest: Optional[dict] = None) -> dict:
 def write_chrome_trace(
     path: Union[str, os.PathLike], source: EventSource, manifest: Optional[dict] = None
 ) -> str:
-    """Write ``source`` as Chrome trace JSON; returns the path written."""
+    """Write ``source`` as Chrome trace JSON; returns the path written.
+
+    The write is atomic (temp + fsync + rename): a crash mid-export
+    leaves the previous trace, never a truncated one Perfetto rejects
+    with an opaque parse error.  No CRC is embedded — the file must
+    stay exactly the trace-event schema that viewers load.
+    """
     path = os.fspath(path)
-    with open(path, "w", encoding="utf-8") as fh:
-        # default=repr: span args may carry arbitrary objects (host
-        # nodes, params); a trace export must never fail on them.
-        json.dump(to_chrome(source, manifest), fh, default=repr)
+    # default=repr: span args may carry arbitrary objects (host
+    # nodes, params); a trace export must never fail on them.
+    atomic_write_json(path, to_chrome(source, manifest), crc=False, default=repr)
     return path
 
 
@@ -93,13 +99,10 @@ def to_jsonl(source: EventSource) -> str:
 
 
 def write_jsonl(path: Union[str, os.PathLike], source: EventSource) -> str:
-    """Write ``source`` as JSON-lines; returns the path written."""
+    """Write ``source`` as JSON-lines, atomically; returns the path written."""
     path = os.fspath(path)
     text = to_jsonl(source)
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write(text)
-        if text:
-            fh.write("\n")
+    atomic_write_text(path, text + "\n" if text else text)
     return path
 
 

@@ -13,7 +13,10 @@ here and why.  All times are microseconds.
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, replace
+
+from .durable.errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -144,13 +147,15 @@ class MachineParams:
         for name in ("t_s", "t_r", "t_step", "t_sq"):
             value = getattr(self, name)
             if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise ValueError(f"{name} must be a number, got {value!r}")
-            if not value > 0:
-                raise ValueError(f"{name} must be positive, got {value}")
+                raise ValidationError(f"{name} must be a number, got {value!r}")
+            # `not value > 0` also rejects NaN (all comparisons false);
+            # infinities are finite-model poison and refused explicitly.
+            if not value > 0 or math.isinf(value):
+                raise ValidationError(f"{name} must be positive and finite, got {value}")
         if isinstance(self.ports, bool) or not isinstance(self.ports, int):
-            raise ValueError(f"ports must be an integer, got {self.ports!r}")
+            raise ValidationError(f"ports must be an integer, got {self.ports!r}")
         if self.ports < 1:
-            raise ValueError(f"ports must be >= 1, got {self.ports}")
+            raise ValidationError(f"ports must be >= 1, got {self.ports}")
 
     @classmethod
     def from_system(
@@ -169,11 +174,11 @@ class MachineParams:
     def from_dict(cls, payload: dict) -> "MachineParams":
         """Parse the wire form, rejecting unknown keys with a clear error."""
         if not isinstance(payload, dict):
-            raise ValueError(f"params must be an object, got {type(payload).__name__}")
+            raise ValidationError(f"params must be an object, got {type(payload).__name__}")
         known = {"t_s", "t_r", "t_step", "t_sq", "ports"}
         unknown = sorted(set(payload) - known)
         if unknown:
-            raise ValueError(f"unknown params fields: {unknown}; expected {sorted(known)}")
+            raise ValidationError(f"unknown params fields: {unknown}; expected {sorted(known)}")
         return cls(**payload)
 
 

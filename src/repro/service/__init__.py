@@ -29,6 +29,10 @@ Layers, innermost out:
   :func:`plan_remote` / :func:`stats_remote` sync conveniences, with
   :class:`RetryPolicy` backoff over typed transient failures
   (``unavailable`` / :class:`PlanTimeoutError` / ``overloaded``).
+* :mod:`~repro.service.journal` — :class:`RequestJournal`: checksummed
+  append-only log of distinct accepted plan requests, replayed on
+  restart to pre-warm the plan memo tables (``recovered_entries`` on
+  the health endpoint).
 
 Quickstart::
 
@@ -52,6 +56,7 @@ from .client import (
     plan_remote,
     stats_remote,
 )
+from .journal import RequestJournal
 from .metrics import LatencyHistogram, ServiceMetrics
 from .planner import NodePlan, PlanRequest, PlanResult, plan
 from .server import PlanServer
@@ -67,6 +72,7 @@ __all__ = [
     "PlanServer",
     "PlanServiceError",
     "PlanTimeoutError",
+    "RequestJournal",
     "RetryPolicy",
     "ServiceMetrics",
     "plan",

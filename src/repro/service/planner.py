@@ -22,6 +22,7 @@ from functools import lru_cache
 from typing import Optional, Tuple
 
 from ..core.cache import cached_build_kbinomial_tree, cached_steps_needed, register_cache
+from ..durable.errors import ValidationError
 from ..core.optimal import optimal_k
 from ..core.pipeline import fpfs_schedule
 from ..params import PAPER_MACHINE, MachineParams
@@ -52,25 +53,25 @@ class PlanRequest:
 
     def __post_init__(self) -> None:
         if isinstance(self.n, bool) or not isinstance(self.n, int):
-            raise ValueError(f"n must be an integer, got {self.n!r}")
+            raise ValidationError(f"n must be an integer, got {self.n!r}")
         if isinstance(self.m, bool) or not isinstance(self.m, int):
-            raise ValueError(f"m must be an integer, got {self.m!r}")
+            raise ValidationError(f"m must be an integer, got {self.m!r}")
         if self.n < 2:
-            raise ValueError(f"n must be >= 2 (source plus one destination), got {self.n}")
+            raise ValidationError(f"n must be >= 2 (source plus one destination), got {self.n}")
         if self.m < 1:
-            raise ValueError(f"m must be >= 1, got {self.m}")
+            raise ValidationError(f"m must be >= 1, got {self.m}")
         if not isinstance(self.params, MachineParams):
-            raise ValueError(f"params must be MachineParams, got {type(self.params).__name__}")
+            raise ValidationError(f"params must be MachineParams, got {type(self.params).__name__}")
         exclude = tuple(sorted(set(self.exclude)))
         for node in exclude:
             if isinstance(node, bool) or not isinstance(node, int):
-                raise ValueError(f"exclude entries must be integers, got {node!r}")
+                raise ValidationError(f"exclude entries must be integers, got {node!r}")
             if node == 0:
-                raise ValueError("cannot exclude the source (position 0)")
+                raise ValidationError("cannot exclude the source (position 0)")
             if not (1 <= node <= self.n - 1):
-                raise ValueError(f"exclude position {node} outside [1, {self.n - 1}]")
+                raise ValidationError(f"exclude position {node} outside [1, {self.n - 1}]")
         if self.n - len(exclude) < 2:
-            raise ValueError(
+            raise ValidationError(
                 f"excluding {len(exclude)} of {self.n} nodes leaves no destinations"
             )
         object.__setattr__(self, "exclude", exclude)

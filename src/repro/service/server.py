@@ -39,9 +39,11 @@ import json
 import signal
 from typing import Optional, Set
 
+from ..durable.errors import check_positive_int, check_positive_number
 from ..obs.tracer import Tracer
 from ..params import MachineParams
 from .batching import PlanBatcher
+from .journal import RequestJournal
 from .metrics import ServiceMetrics
 from .planner import PlanRequest
 
@@ -124,13 +126,15 @@ class PlanServer:
         max_batch: int = 64,
         max_delay: float = 0.001,
         tracer: Optional[Tracer] = None,
+        journal: Optional[RequestJournal] = None,
     ) -> None:
-        if max_inflight < 1:
-            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
-        if request_timeout <= 0:
-            raise ValueError(f"request_timeout must be positive, got {request_timeout}")
-        if max_n < 2:
-            raise ValueError(f"max_n must be >= 2, got {max_n}")
+        check_positive_int("max_inflight", max_inflight)
+        # `not x > 0` (rather than `x <= 0`) also rejects NaN, whose
+        # comparisons are all false — a NaN deadline would disable
+        # asyncio.wait_for silently.
+        check_positive_number("request_timeout", request_timeout)
+        check_positive_number("drain_timeout", drain_timeout)
+        check_positive_int("max_n", max_n, minimum=2)
         self.host = host
         self.port = port
         self.metrics = metrics if metrics is not None else ServiceMetrics()
@@ -150,6 +154,7 @@ class PlanServer:
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
         self.max_n = max_n
+        self.journal = journal
         self.tracer = tracer
         self._obs_track = (
             tracer.track("service", "requests")
@@ -191,6 +196,9 @@ class PlanServer:
             "inflight": self._active_plans,
             "max_inflight": self.max_inflight,
             "fault_mode": self._fault_mode,
+            "recovered_entries": (
+                self.journal.recovered_entries if self.journal is not None else 0
+            ),
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -198,6 +206,14 @@ class PlanServer:
         """Bind and start accepting connections."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self.journal is not None:
+            # Warm restart: re-plan every journaled request so the memo
+            # tables are hot *before* the first client connects.  The
+            # replay is CPU work on the event-loop thread, but it runs
+            # strictly pre-bind — no request can race it.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.journal.replay
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
@@ -354,6 +370,10 @@ class PlanServer:
                 f"server at max_inflight={self.max_inflight}; retry with backoff",
             )
         self.metrics.plans.inc()
+        if self.journal is not None:
+            # Journal after validation and admission: only requests the
+            # server actually plans are worth replaying at restart.
+            self.journal.record(request)
         self._active_plans += 1
         loop = asyncio.get_running_loop()
         started = loop.time()

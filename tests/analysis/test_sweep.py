@@ -193,3 +193,99 @@ def test_store_flush_embeds_run_manifest(tmp_path):
     # its manifest envelope.
     store = SweepStore(path)
     assert len(store) == 2
+
+
+# -- durability: checkpointed runs, corrupt stores ---------------------------
+
+COUNT_FILE = None  # set per-test via _counting_measure's side-channel file
+
+
+def _counting_measure(n, m):
+    """Same name across calls so the checkpoint fingerprint matches."""
+    with open(COUNT_FILE, "a") as fh:
+        fh.write(f"{n},{m}\n")
+    return picklable_measure(n, m)
+
+
+def test_checkpoint_resume_skips_journaled_chunks(tmp_path):
+    global COUNT_FILE
+    COUNT_FILE = str(tmp_path / "calls.log")
+    checkpoint = tmp_path / "sweep.ckpt"
+    grids = {"n": [1, 2], "m": [1, 2, 3]}
+
+    full = run_sweep(_counting_measure, grids, chunk_size=2, checkpoint=checkpoint)
+    first_calls = len(open(COUNT_FILE).readlines())
+    assert first_calls == 6
+
+    # Simulate a crash after the first chunk: keep header + one chunk line.
+    lines = checkpoint.read_text().splitlines(keepends=True)
+    checkpoint.write_text("".join(lines[:2]))
+
+    resumed = run_sweep(_counting_measure, grids, chunk_size=2, checkpoint=checkpoint)
+    recomputed = len(open(COUNT_FILE).readlines()) - first_calls
+    assert recomputed == 4  # only the two lost chunks re-ran
+    # Journaled values round-trip through JSON (tuples become lists), the
+    # same canonical form every store sees — compare in that form.
+    import json
+
+    canonical = [json.dumps(p.value) for p in full]
+    assert [json.dumps(p.value) for p in resumed] == canonical
+    assert [p.params for p in resumed] == [p.params for p in full]
+
+
+def test_completed_checkpoint_recomputes_nothing(tmp_path):
+    global COUNT_FILE
+    COUNT_FILE = str(tmp_path / "calls.log")
+    checkpoint = tmp_path / "sweep.ckpt"
+    grids = {"n": [1, 2], "m": [1, 2]}
+    run_sweep(_counting_measure, grids, checkpoint=checkpoint)
+    before = len(open(COUNT_FILE).readlines())
+    run_sweep(_counting_measure, grids, checkpoint=checkpoint)
+    assert len(open(COUNT_FILE).readlines()) == before
+
+
+def test_checkpointed_store_manifest_reports_resume(tmp_path):
+    import json
+
+    global COUNT_FILE
+    COUNT_FILE = str(tmp_path / "calls.log")
+    checkpoint = tmp_path / "sweep.ckpt"
+    store = tmp_path / "store.json"
+    run_sweep(
+        _counting_measure, {"n": [1, 2], "m": [1, 2]}, checkpoint=checkpoint, store=store
+    )
+    manifest = json.loads(store.read_text())["manifest"]
+    snap = manifest["checkpoint"]
+    assert snap["path"].endswith("sweep.ckpt")
+    assert snap["resumed_chunks"] == 0
+    assert snap["journaled_chunks"] >= 1
+
+
+def test_corrupt_store_raises_typed_error(tmp_path):
+    from repro.durable import StoreCorruptionError
+
+    path = tmp_path / "store.json"
+    run_sweep(picklable_measure, {"n": [1], "m": [1]}, store=path)
+    path.write_text(path.read_text()[:-20])  # truncate: invalid JSON
+    with pytest.raises(StoreCorruptionError):
+        SweepStore(path)
+
+
+def test_corrupt_store_quarantine_and_continue(tmp_path):
+    path = tmp_path / "store.json"
+    run_sweep(picklable_measure, {"n": [1], "m": [1]}, store=path)
+    path.write_text("{not json")
+    store = SweepStore(path, on_corruption="quarantine")
+    assert len(store) == 0
+    assert store.quarantined_to == str(path) + ".corrupt"
+    assert (tmp_path / "store.json.corrupt").read_text() == "{not json"
+    # The sweep proceeds as if the store were empty, then heals the file.
+    run_sweep(picklable_measure, {"n": [1], "m": [1]}, store=store)
+    assert len(SweepStore(path)) == 1
+
+
+def test_invalid_on_corruption_mode_rejected(tmp_path):
+    from repro.durable import ValidationError
+
+    with pytest.raises(ValidationError):
+        SweepStore(tmp_path / "s.json", on_corruption="explode")

@@ -1,0 +1,129 @@
+"""The cardinal invariant: SIGKILL a sweep, resume it, get identical bytes.
+
+A child process runs a checkpointed sweep with a deliberately slow
+measure; the parent SIGKILLs it once the journal shows progress, reruns
+the identical command to completion, and compares the resulting store's
+``records`` byte-for-byte against an uninterrupted control run.  Only
+the manifest (timestamps, host) may differ — the paper's numbers may
+not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+#: The sweep the child runs: 12 points in 6 chunks, ~60 ms per point,
+#: so the parent has a wide window to kill inside.
+CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    import time
+
+    from repro.analysis.sweep import run_sweep
+
+    def slow_measure(n, m):
+        time.sleep(0.06)
+        return {"v": n * 1000 + m, "f": n / m}
+
+    store, checkpoint = sys.argv[1], sys.argv[2]
+    run_sweep(
+        slow_measure,
+        {"n": [1, 2, 3], "m": [1, 2, 3, 4]},
+        chunk_size=2,
+        store=store,
+        checkpoint=checkpoint,
+    )
+    print("COMPLETE")
+    """
+)
+
+
+def _launch(tmp_path, store_name):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            CHILD_SCRIPT,
+            str(tmp_path / store_name),
+            str(tmp_path / "sweep.ckpt"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _journal_chunk_lines(path) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path, "r", encoding="utf-8") as fh:
+        return sum(1 for line in fh if '"kind": "chunk"' in line or '"kind":"chunk"' in line)
+
+
+def test_sigkill_then_resume_is_byte_identical(tmp_path):
+    checkpoint = tmp_path / "sweep.ckpt"
+
+    # Round 1: kill mid-flight, after >= 2 chunks have been journaled
+    # but well before all 6 are.
+    victim = _launch(tmp_path, "store.json")
+    deadline = time.monotonic() + 30.0
+    while _journal_chunk_lines(checkpoint) < 2:
+        assert victim.poll() is None, "sweep finished before we could kill it"
+        assert time.monotonic() < deadline, "journal never showed progress"
+        time.sleep(0.01)
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait(timeout=10)
+    assert victim.returncode == -signal.SIGKILL
+
+    killed_at = _journal_chunk_lines(checkpoint)
+    assert 2 <= killed_at < 6
+    assert not (tmp_path / "store.json").exists()  # store flushes at the end
+
+    # Round 2: identical command, same checkpoint — runs to completion.
+    resumed = _launch(tmp_path, "store.json")
+    out, err = resumed.communicate(timeout=60)
+    assert resumed.returncode == 0, err
+    assert "COMPLETE" in out
+    # The resumed run journaled only the missing chunks.
+    assert _journal_chunk_lines(checkpoint) == 6
+
+    # Control: the same sweep, uninterrupted, in-process, no checkpoint
+    # — the values are pure functions of the grid, so the stores must
+    # agree byte-for-byte in their records.
+    from repro.analysis.sweep import run_sweep
+
+    control_store = tmp_path / "control.json"
+    run_sweep(_control_measure, {"n": [1, 2, 3], "m": [1, 2, 3, 4]}, store=control_store)
+
+    resumed_doc = json.loads((tmp_path / "store.json").read_text())
+    control_doc = json.loads(control_store.read_text())
+    canonical = lambda doc: json.dumps(doc["records"], sort_keys=True)  # noqa: E731
+    assert canonical(resumed_doc) == canonical(control_doc)
+    assert resumed_doc["records"]  # non-trivial comparison
+    assert len(resumed_doc["records"]) == 12
+
+
+def test_resume_with_changed_grid_is_refused(tmp_path):
+    from repro.analysis.sweep import run_sweep
+    from repro.durable import CheckpointMismatchError
+
+    checkpoint = tmp_path / "sweep.ckpt"
+    run_sweep(_module_measure, {"x": [1, 2]}, checkpoint=checkpoint)
+    with pytest.raises(CheckpointMismatchError):
+        run_sweep(_module_measure, {"x": [1, 2, 3]}, checkpoint=checkpoint)
+
+
+def _module_measure(x):
+    return x + 1
+
+
+def _control_measure(n, m):
+    return {"v": n * 1000 + m, "f": n / m}

@@ -1,0 +1,136 @@
+"""Worker watchdog: deadlines, silent deaths, retry budgets."""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import pytest
+
+from repro.durable import DURABLE_METRICS, ChunkRetryError, run_chunks_watchdog
+from repro.durable.watchdog import ChunkFailure
+
+
+def well_behaved(x):
+    return x * 10
+
+
+def hang_forever(x):
+    time.sleep(600)
+
+
+def die_silently(x):
+    os._exit(9)  # no exception, no pipe message: an OOM-kill stand-in
+
+
+def flaky_until_marker(x, marker):
+    """Dies on the first attempt, succeeds once the marker file exists."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("tried")
+        os._exit(1)
+    return x * 10
+
+
+def immediate_delays():
+    return iter(())
+
+
+def run(measure, chunks, **overrides):
+    kwargs = dict(
+        workers=2,
+        chunk_timeout=0.5,
+        chunk_retries=2,
+        retry_delays=immediate_delays,
+    )
+    kwargs.update(overrides)
+    done = {}
+    failures = run_chunks_watchdog(
+        measure, chunks, on_chunk_done=lambda i, r: done.__setitem__(i, r), **kwargs
+    )
+    return done, failures
+
+
+class TestWatchdog:
+    def test_healthy_chunks_all_complete(self):
+        chunks = [(i, [(i * 2, {"x": i * 2}), (i * 2 + 1, {"x": i * 2 + 1})]) for i in range(3)]
+        done, failures = run(well_behaved, chunks)
+        assert failures == []
+        assert done == {
+            0: [(0, 0), (1, 10)],
+            1: [(2, 20), (3, 30)],
+            2: [(4, 40), (5, 50)],
+        }
+
+    def test_hung_chunk_killed_and_budget_exhausted(self):
+        before = DURABLE_METRICS.snapshot()
+        done, failures = run(hang_forever, [(0, [(0, {"x": 1})])], chunk_timeout=0.15)
+        assert done == {}
+        assert len(failures) == 1
+        failure = failures[0]
+        assert isinstance(failure, ChunkFailure)
+        assert failure.chunk_index == 0 and failure.points == 1
+        assert failure.attempts == 2
+        assert "deadline" in failure.reason
+        after = DURABLE_METRICS.snapshot()
+        assert after["chunk_retries"] - before["chunk_retries"] == 1
+        assert after["chunk_failures"] - before["chunk_failures"] == 1
+
+    def test_silent_death_detected_with_exit_code(self):
+        done, failures = run(die_silently, [(0, [(0, {"x": 1})])])
+        assert done == {}
+        assert len(failures) == 1
+        assert "exit code 9" in failures[0].reason
+
+    def test_flaky_chunk_succeeds_on_retry(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        measure = partial(flaky_until_marker, marker=marker)
+        done, failures = run(measure, [(0, [(0, {"x": 7})])], chunk_retries=3)
+        assert failures == []
+        assert done == {0: [(0, 70)]}
+
+    def test_failure_record_serializes_for_manifests(self):
+        failure = ChunkFailure(chunk_index=3, points=5, attempts=2, reason="killed")
+        assert failure.to_dict() == {
+            "chunk_index": 3,
+            "points": 5,
+            "attempts": 2,
+            "reason": "killed",
+        }
+
+
+class TestSweepIntegration:
+    def test_watchdog_failure_raises_chunk_retry_error(self):
+        from repro.analysis.sweep import run_sweep
+        from repro.service.client import RetryPolicy
+
+        with pytest.raises(ChunkRetryError, match="exhausted their retry budget"):
+            run_sweep(
+                hang_forever,
+                {"x": [1]},
+                chunk_timeout=0.15,
+                chunk_retries=2,
+                retry_policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            )
+
+    def test_skip_mode_records_failures_in_store_manifest(self, tmp_path):
+        import json
+
+        from repro.analysis.sweep import run_sweep
+        from repro.service.client import RetryPolicy
+
+        store = tmp_path / "store.json"
+        points = run_sweep(
+            die_silently,
+            {"x": [1, 2]},
+            chunk_timeout=2.0,
+            chunk_retries=1,
+            retry_policy=RetryPolicy(base_delay=0.0, jitter=0.0),
+            on_chunk_failure="skip",
+            store=store,
+        )
+        assert [p.value for p in points] == [None, None]
+        manifest = json.loads(store.read_text())["manifest"]
+        assert manifest["chunk_failures"]
+        assert manifest["chunk_failures"][0]["attempts"] == 1

@@ -1,0 +1,126 @@
+"""Request journaling and warm restart (service tier)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.params import MachineParams
+from repro.service import PlanClient, PlanRequest, PlanServer, RequestJournal
+from repro.service.planner import _schedule_rows
+
+pytestmark = pytest.mark.service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestJournal:
+    def test_distinct_requests_append_once(self, tmp_path):
+        journal = RequestJournal(tmp_path / "req.journal")
+        a = PlanRequest(n=64, m=8)
+        b = PlanRequest(n=32, m=4)
+        assert journal.record(a) is True
+        assert journal.record(a) is False  # duplicate: no second line
+        assert journal.record(b) is True
+        assert len((tmp_path / "req.journal").read_text().splitlines()) == 2
+
+    def test_load_roundtrips_params_and_exclude(self, tmp_path):
+        journal = RequestJournal(tmp_path / "req.journal")
+        request = PlanRequest(
+            n=16, m=2, params=MachineParams(t_s=1.0, ports=2), exclude=(3, 5)
+        )
+        journal.record(request)
+        loaded, skipped = RequestJournal(tmp_path / "req.journal").load()
+        assert skipped == 0
+        assert loaded == [request]
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "req.journal"
+        journal = RequestJournal(path)
+        journal.record(PlanRequest(n=64, m=8))
+        with open(path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"kind": "plan", "version": 1, "n": 8}\n')  # no CRC
+        journal.record(PlanRequest(n=32, m=4))
+        # Tamper the n=32 line: complete JSON, wrong checksum.
+        raw = path.read_text().replace('"n":32', '"n":33')
+        path.write_text(raw)
+
+        fresh = RequestJournal(path)
+        loaded, skipped = fresh.load()
+        assert [r.n for r in loaded] == [64]
+        assert skipped == 3
+
+    def test_replay_warms_the_plan_memo(self, tmp_path):
+        journal = RequestJournal(tmp_path / "req.journal")
+        journal.record(PlanRequest(n=48, m=6))
+        journal.record(PlanRequest(n=24, m=3))
+
+        _schedule_rows.cache_clear()
+        fresh = RequestJournal(tmp_path / "req.journal")
+        assert fresh.replay() == 2
+        assert fresh.recovered_entries == 2
+        info = _schedule_rows.cache_info()
+        assert info.currsize >= 1  # the memo is hot before any request
+
+    def test_replay_marks_entries_seen(self, tmp_path):
+        path = tmp_path / "req.journal"
+        RequestJournal(path).record(PlanRequest(n=64, m=8))
+        fresh = RequestJournal(path)
+        fresh.replay()
+        assert fresh.record(PlanRequest(n=64, m=8)) is False  # not re-journaled
+        assert len(path.read_text().splitlines()) == 1
+
+
+class TestWarmRestart:
+    def test_server_journals_and_recovers(self, tmp_path):
+        path = tmp_path / "req.journal"
+
+        async def first_life():
+            server = PlanServer(port=0, journal=RequestJournal(path))
+            await server.start()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                await client.plan(64, 8)
+                await client.plan(64, 8)  # duplicate
+                await client.plan(32, 4)
+                health = (await client.request({"type": "health"}))["health"]
+            await server.shutdown()
+            return health
+
+        async def second_life():
+            server = PlanServer(port=0, journal=RequestJournal(path))
+            await server.start()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                health = (await client.request({"type": "health"}))["health"]
+            await server.shutdown()
+            return health
+
+        health1 = run(first_life())
+        assert health1["recovered_entries"] == 0
+        health2 = run(second_life())
+        assert health2["recovered_entries"] == 2
+
+    def test_health_reports_zero_without_journal(self):
+        async def body():
+            server = PlanServer(port=0)
+            await server.start()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                health = (await client.request({"type": "health"}))["health"]
+            await server.shutdown()
+            return health
+
+        assert run(body())["recovered_entries"] == 0
+
+    def test_recovery_surfaces_in_durable_metrics(self, tmp_path):
+        from repro.durable import DURABLE_METRICS
+        from repro.obs import GLOBAL_METRICS
+
+        path = tmp_path / "req.journal"
+        RequestJournal(path).record(PlanRequest(n=16, m=2))
+        before = DURABLE_METRICS.snapshot()["journal_entries_recovered"]
+        RequestJournal(path).replay()
+        snap = GLOBAL_METRICS.snapshot()
+        assert snap["durable"]["journal_entries_recovered"] == before + 1

@@ -108,8 +108,9 @@ def test_plan_with_schedule_and_params(capsys):
 
 
 def test_plan_rejects_bad_n(capsys):
-    with pytest.raises(ValueError, match="n must be"):
-        main(["plan", "-n", "1", "-m", "2"])
+    # Validation errors exit 2 with the message on stderr, not a traceback.
+    assert main(["plan", "-n", "1", "-m", "2"]) == 2
+    assert "n must be" in capsys.readouterr().err
 
 
 def test_trace_command_writes_perfetto_json(capsys, tmp_path):

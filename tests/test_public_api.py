@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.faults",
+    "repro.durable",
 ]
 
 
