@@ -30,6 +30,7 @@ Quickstart::
 """
 
 from .core import (
+    AnalyticSurface,
     MulticastTree,
     OptimalKTable,
     build_binomial_tree,
@@ -48,6 +49,7 @@ from .core import (
     packet_completion_steps,
     predicted_steps,
     steps_needed,
+    surface_enabled,
     theorem2_steps,
 )
 from .mcast import (
@@ -75,6 +77,7 @@ from .params import PAPER_PARAMS, SystemParams
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyticSurface",
     "ConventionalInterface",
     "EcubeRouter",
     "FCFSInterface",
@@ -114,6 +117,7 @@ __all__ = [
     "predicted_steps",
     "random_ordering",
     "steps_needed",
+    "surface_enabled",
     "switch",
     "theorem2_steps",
     "__version__",

@@ -56,6 +56,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from ..core.surface import surface_scope
 from ..durable.atomic import atomic_write_json, quarantine, safe_load_json
 from ..durable.errors import (
     ChunkRetryError,
@@ -378,6 +379,7 @@ def run_sweep(
     chunk_retries: int = 3,
     retry_policy=None,
     on_chunk_failure: str = "raise",
+    surface=None,
 ) -> List[SweepPoint]:
     """Evaluate ``measure(**point)`` over the cross product of ``grids``.
 
@@ -431,6 +433,16 @@ def run_sweep(
         journal and store have absorbed every completed chunk.
         ``"skip"``: failed points come back with ``value None`` and the
         failures are recorded in the store manifest.
+    surface:
+        Analytic fast path for the duration of the sweep (see
+        :func:`repro.core.surface.surface_scope`): an
+        :class:`~repro.core.surface.AnalyticSurface` installs it and
+        enables ``REPRO_SURFACE``, ``True`` just enables the gate,
+        ``False`` forces the scalar oracle, ``None`` (default) leaves
+        the process setting alone.  The env gate is set before workers
+        fork, so parallel sweeps inherit it (each worker grows its own
+        surface on first miss).  Results are bit-equal either way —
+        the differential suite pins it.
 
     Returns
     -------
@@ -438,6 +450,24 @@ def run_sweep(
         One record per grid point, in grid order, independent of
         ``workers``/``chunk_size``/``store``/``checkpoint``.
     """
+    if surface is not None:
+        # Re-enter with the fast path selected (and restored on exit);
+        # the recursion carries every other argument unchanged.
+        with surface_scope(surface):
+            return run_sweep(
+                measure,
+                grids,
+                workers=workers,
+                chunk_size=chunk_size,
+                progress=progress,
+                store=store,
+                tracer=tracer,
+                checkpoint=checkpoint,
+                chunk_timeout=chunk_timeout,
+                chunk_retries=chunk_retries,
+                retry_policy=retry_policy,
+                on_chunk_failure=on_chunk_failure,
+            )
     check_positive_int("workers", workers)
     if chunk_size is not None:
         check_positive_int("chunk_size", chunk_size)

@@ -3,8 +3,9 @@
 Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
 ``python -m repro.cli``.  Subcommands::
 
-    repro-mcast fig12a              # optimal k vs m (analytic)
-    repro-mcast fig12b              # optimal k vs n (analytic)
+    repro-mcast fig12a [--surface]  # optimal k vs m (analytic)
+    repro-mcast fig12b [--surface]  # optimal k vs n (analytic)
+    repro-mcast surface --n-max 512 --m-max 64 --out surface.json
     repro-mcast fig13a [--full] [--workers 4]   # simulated latency vs m
     repro-mcast fig13b [--full]
     repro-mcast fig14a [--full]     # binomial vs k-binomial vs m
@@ -47,11 +48,13 @@ from .analysis import (
     render_table,
 )
 from .core import (
+    AnalyticSurface,
     build_kbinomial_tree,
     min_k_binomial,
     optimal_k,
     predicted_steps,
     render_tree,
+    surface_scope,
 )
 from .durable.errors import ValidationError, check_positive_int, check_positive_number
 from .machine import Machine
@@ -65,6 +68,7 @@ __all__ = ["main"]
 _POSITIVE_INT_ARGS = (
     "workers", "topologies", "dest_sets", "runs", "dests", "bytes",
     "max_m", "max_inflight", "max_batch", "max_n", "ports",
+    "n_max", "m_max",
 )
 _POSITIVE_NUMBER_ARGS = ("timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq")
 
@@ -156,9 +160,15 @@ def _maybe_stats(args) -> None:
         print(_json.dumps(GLOBAL_METRICS.snapshot(), indent=2, sort_keys=True))
 
 
+def _surface_mode(args):
+    """``surface_scope`` selection from a command's ``--surface`` flag."""
+    return True if getattr(args, "surface", False) else None
+
+
 def _cmd_fig12a(args) -> None:
     m_values = tuple(range(1, args.max_m + 1))
-    data = fig12a_optimal_k(m_values=m_values)
+    with surface_scope(_surface_mode(args)):
+        data = fig12a_optimal_k(m_values=m_values)
     series = {f"{d} dest": data[d] for d in sorted(data, reverse=True)}
     print(
         render_series(
@@ -173,7 +183,8 @@ def _cmd_fig12a(args) -> None:
 
 def _cmd_fig12b(args) -> None:
     n_values = tuple(range(2, 65))
-    data = fig12b_optimal_k(n_values=n_values)
+    with surface_scope(_surface_mode(args)):
+        data = fig12b_optimal_k(n_values=n_values)
     print(
         render_series(
             "n",
@@ -261,13 +272,32 @@ def _cmd_fig14b(args) -> None:
 
 
 def _cmd_optimal_k(args) -> None:
-    k = optimal_k(args.n, args.m)
+    with surface_scope(_surface_mode(args)):
+        k = optimal_k(args.n, args.m)
     print(f"optimal k for n={args.n}, m={args.m}: {k}")
     rows = [
         [kk, predicted_steps(args.n, kk, args.m)]
         for kk in range(1, min_k_binomial(args.n) + 1)
     ]
     print(render_table(["k", f"steps (m={args.m})"], rows))
+
+
+def _cmd_surface(args) -> None:
+    if args.load:
+        surface = AnalyticSurface.load(args.load)
+        action = f"loaded from {args.load} (CRC verified)"
+    else:
+        surface = AnalyticSurface.build(
+            args.n_max, args.m_max, exact=args.exact, ports=args.ports
+        )
+        action = f"built in {surface.build_seconds * 1e3:.1f} ms"
+    if args.out:
+        surface.save(args.out)
+        action += f", saved to {args.out}"
+    print(f"analytic surface {action}")
+    rows = [[name, value] for name, value in surface.stats().items()]
+    print(render_table(["field", "value"], rows, title="Analytic surface"))
+    _maybe_stats(args)
 
 
 def _cmd_tree(args) -> None:
@@ -582,12 +612,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="require the --checkpoint file to already exist",
         )
 
+    surface_flag_help = "serve lookups from the vectorized analytic surface (REPRO_SURFACE)"
+
     p = sub.add_parser("fig12a", help="optimal k vs packets (analytic)")
     p.add_argument("--max-m", type=int, default=35)
     p.add_argument("--csv", default=None, help="also write the series as CSV")
+    p.add_argument("--surface", action="store_true", help=surface_flag_help)
     p.set_defaults(func=_cmd_fig12a)
 
     p = sub.add_parser("fig12b", help="optimal k vs set size (analytic)")
+    p.add_argument("--surface", action="store_true", help=surface_flag_help)
     p.set_defaults(func=_cmd_fig12b)
 
     for name, func, help_text in (
@@ -603,7 +637,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimal-k", help="Theorem 3 fan-out for (n, m)")
     p.add_argument("-n", type=int, required=True, help="multicast set size")
     p.add_argument("-m", type=int, required=True, help="number of packets")
+    p.add_argument("--surface", action="store_true", help=surface_flag_help)
     p.set_defaults(func=_cmd_optimal_k)
+
+    p = sub.add_parser(
+        "surface", help="build/save/load the vectorized analytic surface"
+    )
+    p.add_argument("--n-max", dest="n_max", type=int, default=512)
+    p.add_argument("--m-max", dest="m_max", type=int, default=64)
+    p.add_argument(
+        "--exact", action="store_true",
+        help="also build the exact-variant tables (one FPFS schedule per (n, k))",
+    )
+    p.add_argument("--ports", type=int, default=1, help="NI ports for the exact tables")
+    p.add_argument("--out", default=None, metavar="PATH", help="save (atomic, CRC-stamped)")
+    p.add_argument("--load", default=None, metavar="PATH", help="load instead of building")
+    p.add_argument("--stats", action="store_true", help="print the unified metrics snapshot")
+    p.set_defaults(func=_cmd_surface)
 
     p = sub.add_parser("tree", help="draw a k-binomial tree")
     p.add_argument("-n", type=int, required=True)

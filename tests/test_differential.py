@@ -18,6 +18,15 @@ over an (n, k, m) grid:
 
 The full grid is marked ``slow`` (tier-1 skips it via ``-m "not
 slow"``); a reduced smoke grid always runs.
+
+The second half of this file is the other differential axis: the
+vectorized :class:`~repro.core.surface.AnalyticSurface` against the
+scalar recurrences it replaces.  The scalar path is the permanent
+oracle; every surface table must be *bit-equal* to it — exhaustively
+over ``n ∈ [2, 512] × m ∈ [1, 64]`` for the paper variant, over a
+reduced grid (plus a slow-marked full one) for the exact variant, and
+end-to-end through :func:`repro.service.plan` under both
+``REPRO_SURFACE`` modes for two machine presets.
 """
 
 from __future__ import annotations
@@ -25,18 +34,29 @@ from __future__ import annotations
 import pytest
 
 from repro.core import (
+    AnalyticSurface,
     build_kbinomial_tree,
+    clear_caches,
     coverage,
     fcfs_total_steps,
     fpfs_total_steps,
+    installed_surface,
     min_k_binomial,
+    optimal_k,
+    optimal_k_exact,
+    optimal_k_exact_scalar,
+    optimal_k_scalar,
+    predicted_steps,
     steps_needed,
+    surface_scope,
     theorem2_steps,
+    uninstall_surface,
 )
 from repro.mcast import MulticastSimulator
 from repro.network import Topology, UpDownRouter, host, switch
 from repro.nic import FCFSInterface
-from repro.params import SystemParams
+from repro.params import PAPER_MACHINE, MachineParams, SystemParams
+from repro.service import PlanRequest, plan
 
 #: Step-aligned parameters: one send = t_ns(1) + wire(1) = 2 units, no
 #: host overheads, so DES completion time == steps * STEP_COST exactly.
@@ -129,3 +149,156 @@ def test_differential_perfect_trees_meet_theorem2(k):
         assert tree.max_fanout <= tree.root_fanout
         for m in (1, 2, 4, 8):
             assert _des_steps(tree, m) == theorem2_steps(s, m, tree.root_fanout)
+
+
+# ---------------------------------------------------------------------------
+# Surface ≡ scalar: the vectorized engine against its correctness oracle.
+# ---------------------------------------------------------------------------
+
+#: Full equivalence grid of the issue: n ∈ [2, 512], m ∈ [1, 64].
+SURFACE_N_MAX = 512
+SURFACE_M_MAX = 64
+
+#: Reduced exact-variant grid (one FPFS schedule per (n, k) is costly);
+#: the slow-marked test below widens it.
+EXACT_N_MAX = 40
+EXACT_M_MAX = 12
+
+#: Two machine views: the paper's §5.2 machine and a faster two-port
+#: one — the surface must agree with the scalar path under both.
+MACHINE_PRESETS = [
+    PAPER_MACHINE,
+    MachineParams(t_s=5.0, t_r=7.5, t_step=2.25, t_sq=0.5, ports=2),
+]
+PRESET_IDS = ["paper", "fast-2port"]
+
+
+@pytest.fixture(scope="module")
+def paper_surface():
+    """One full-grid surface shared by the equivalence tests (read-only)."""
+    return AnalyticSurface.build(SURFACE_N_MAX, SURFACE_M_MAX)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_surface():
+    """No test here may leave an installed surface behind."""
+    yield
+    uninstall_surface()
+
+
+def test_surface_coverage_bit_equal(paper_surface):
+    """Every stored Lemma-1 column entry equals the scalar recurrence."""
+    for k in range(1, paper_surface.k_max + 1):
+        s = 0
+        while True:
+            try:
+                stored = paper_surface.coverage(s, k)
+            except KeyError:
+                break
+            assert stored == coverage(s, k), (s, k)
+            s += 1
+        # Each column carries everything below n_max plus one sentinel.
+        assert paper_surface.coverage(s - 1, k) >= SURFACE_N_MAX, k
+
+
+def test_surface_steps_needed_bit_equal(paper_surface):
+    """T1(n, k) from searchsorted == the scalar search, every (n, k)."""
+    for n in range(1, SURFACE_N_MAX + 1):
+        for k in range(1, paper_surface.k_max + 1):
+            assert paper_surface.steps_needed(n, k) == steps_needed(n, k), (n, k)
+    # k beyond the last stored column clamps without changing T1.
+    for n in (2, 100, 511, 512):
+        assert paper_surface.steps_needed(n, 64) == steps_needed(n, 64), n
+
+
+def test_surface_optimal_k_bit_equal_exhaustive(paper_surface):
+    """Theorem-3 argmin bit-equal to the scalar search over the full grid.
+
+    This is the issue's headline check: every (n, m) with
+    n ∈ [2, 512], m ∈ [1, 64], including the scalar loop's
+    ties-to-largest-k behavior.
+    """
+    n_values = range(2, SURFACE_N_MAX + 1)
+    m_values = range(1, SURFACE_M_MAX + 1)
+    grid = paper_surface.optimal_k_grid(n_values, m_values)
+    for i, n in enumerate(n_values):
+        for j, m in enumerate(m_values):
+            assert grid[i, j] == optimal_k_scalar(n, m), (n, m)
+
+
+def test_surface_optimal_steps_bit_equal_sampled(paper_surface):
+    """The minimized objective matches Theorem 3 priced at the scalar k."""
+    for n in (2, 3, 7, 16, 63, 100, 255, 512):
+        for m in (1, 2, 8, 33, 64):
+            k = optimal_k_scalar(n, m)
+            assert paper_surface.optimal_steps(n, m) == predicted_steps(n, k, m), (n, m)
+
+
+@pytest.mark.parametrize("ports", [1, 2])
+def test_surface_optimal_k_exact_bit_equal(ports):
+    """Exact-variant tables == scalar FPFS search (ties to smallest k)."""
+    surf = AnalyticSurface.build(EXACT_N_MAX, EXACT_M_MAX, exact=True, ports=ports)
+    for n in range(2, EXACT_N_MAX + 1):
+        for m in (1, 2, 3, 5, 8, EXACT_M_MAX):
+            assert surf.optimal_k_exact(n, m, ports=ports) == optimal_k_exact_scalar(
+                n, m, ports=ports
+            ), (n, m, ports)
+
+
+@pytest.mark.slow
+def test_surface_optimal_k_exact_bit_equal_full():
+    """Wider exact-variant grid, every m (weekly tier)."""
+    surf = AnalyticSurface.build(96, 32, exact=True)
+    for n in range(2, 97):
+        for m in range(1, 33):
+            assert surf.optimal_k_exact(n, m) == optimal_k_exact_scalar(n, m), (n, m)
+
+
+@pytest.mark.parametrize("params", MACHINE_PRESETS, ids=PRESET_IDS)
+def test_surface_latency_bit_equal(paper_surface, params):
+    """µs latency from the surface == the model formula at the scalar k."""
+    full = paper_surface.latency_surface(params)
+    for n in (2, 5, 16, 63, 128, 512):
+        for m in (1, 4, 35, 64):
+            k = optimal_k_scalar(n, m)
+            expected = params.t_s + predicted_steps(n, k, m) * params.t_step + params.t_r
+            assert paper_surface.latency_us(n, m, params) == expected, (n, m)
+            assert full[n, m - 1] == expected, (n, m)
+
+
+def test_surface_dispatch_bit_equal(monkeypatch):
+    """The public optimal_k/optimal_k_exact agree across both env modes."""
+    points = [(2, 1), (7, 4), (100, 8), (300, 64), (511, 33)]
+    monkeypatch.setenv("REPRO_SURFACE", "1")
+    clear_caches()
+    for n, m in points:
+        assert optimal_k(n, m) == optimal_k_scalar(n, m), (n, m)
+    # The fast path really served: a surface got auto-installed.
+    assert installed_surface() is not None
+    # Exact variant with no exact tables installed falls back to scalar.
+    assert optimal_k_exact(20, 4) == optimal_k_exact_scalar(20, 4)
+    monkeypatch.setenv("REPRO_SURFACE", "0")
+    clear_caches()
+    for n, m in points:
+        assert optimal_k(n, m) == optimal_k_scalar(n, m), (n, m)
+    assert installed_surface() is None
+
+
+@pytest.mark.parametrize("params", MACHINE_PRESETS, ids=PRESET_IDS)
+def test_surface_plan_bit_equal_across_modes(params):
+    """plan() returns identical results under REPRO_SURFACE=0 and =1.
+
+    The plan memo is cleared between modes so the second pass really
+    exercises the surface, not the cached scalar answer.
+    """
+    points = [(2, 1), (5, 3), (16, 8), (63, 35), (128, 64), (200, 7)]
+    for n, m in points:
+        request = PlanRequest(n=n, m=m, params=params)
+        with surface_scope(False):
+            scalar_result = plan(request)
+        clear_caches()
+        with surface_scope(True):
+            fast_result = plan(request)
+            assert installed_surface() is not None
+        clear_caches()
+        assert fast_result.to_dict() == scalar_result.to_dict(), (n, m)

@@ -40,3 +40,55 @@ def test_golden_analytics():
     assert coverage(8, 2) == 88
     assert optimal_k(64, 8) == 2
     assert fpfs_total_steps(build_kbinomial_tree(list(range(64)), 2), 8) == 22
+
+
+# ---------------------------------------------------------------------------
+# Surface-path goldens: the vectorized engine must keep producing the
+# exact series the figures and the §5.1 table were validated on.
+# ---------------------------------------------------------------------------
+
+#: Fig. 12(a): optimal k vs message length (m = 1..35) per dest count.
+GOLDEN_FIG12A_63 = [6, 3] + [2] * 33
+GOLDEN_FIG12A_15 = [4] + [2] * 10 + [1] * 24
+#: Fig. 12(b): optimal k vs system size (n = 2..64) per packet count.
+GOLDEN_FIG12B_M1 = [1] + [2] * 2 + [3] * 4 + [4] * 8 + [5] * 16 + [6] * 32
+GOLDEN_FIG12B_M8 = [1] * 10 + [2] * 53
+#: §5.1 NI table runs: (first m of the run, k) breakpoints per n.
+GOLDEN_SEC51_RUNS = {
+    8: [(1, 3), (3, 2), (5, 1)],
+    16: [(1, 4), (2, 2), (12, 1)],
+    32: [(1, 5), (2, 2), (27, 1)],
+    64: [(1, 6), (2, 3), (3, 2)],
+}
+
+
+@pytest.fixture(scope="module")
+def fig12_surface():
+    from repro.core import AnalyticSurface
+
+    return AnalyticSurface.build(64, 35)
+
+
+def test_golden_fig12a_surface_path(fig12_surface):
+    from repro.analysis import fig12a_optimal_k
+
+    series = fig12a_optimal_k(surface=fig12_surface)
+    assert series[63] == GOLDEN_FIG12A_63
+    assert series[15] == GOLDEN_FIG12A_15
+
+
+def test_golden_fig12b_surface_path(fig12_surface):
+    from repro.analysis import fig12b_optimal_k
+
+    series = fig12b_optimal_k(surface=fig12_surface)
+    assert series[1] == GOLDEN_FIG12B_M1
+    assert series[8] == GOLDEN_FIG12B_M8
+
+
+def test_golden_sec51_table_surface_path(fig12_surface):
+    from repro.core import OptimalKTable
+
+    table = OptimalKTable(n_max=64, m_max=32, chooser=fig12_surface.optimal_k)
+    for n, runs in GOLDEN_SEC51_RUNS.items():
+        assert table.runs_for(n) == runs, n
+    assert table.memory_entries == 199
