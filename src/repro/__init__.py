@@ -73,6 +73,7 @@ from .network import (
 from .machine import Machine
 from .nic import ConventionalInterface, FCFSInterface, FPFSInterface, Message, Packet
 from .params import PAPER_PARAMS, SystemParams
+from .sessions import Session, SessionResult, SessionSetResult, SessionSimulator
 
 __version__ = "1.0.0"
 
@@ -91,6 +92,10 @@ __all__ = [
     "OptimalKTable",
     "PAPER_PARAMS",
     "Packet",
+    "Session",
+    "SessionResult",
+    "SessionSetResult",
+    "SessionSimulator",
     "SystemParams",
     "Topology",
     "UpDownRouter",

@@ -17,6 +17,8 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
     repro-mcast chaos --smoke          # CI-sized fault-injection check
     repro-mcast chaos --runs 5 --dests 31 --bytes 512 --out chaos.json
+    repro-mcast sessions --smoke       # CI-sized concurrent-sessions check
+    repro-mcast sessions --loads 0.5,1.0,2.0 --out sessions.json
     repro-mcast decoster --bytes 4096
     repro-mcast serve --port 7017 --workers 2       # plan service
     repro-mcast plan -n 64 -m 8 [--connect HOST:PORT] [--schedule]
@@ -68,7 +70,7 @@ __all__ = ["main"]
 _POSITIVE_INT_ARGS = (
     "workers", "topologies", "dest_sets", "runs", "dests", "bytes",
     "max_m", "max_inflight", "max_batch", "max_n", "ports",
-    "n_max", "m_max",
+    "n_max", "m_max", "count", "max_active",
 )
 _POSITIVE_NUMBER_ARGS = ("timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq")
 
@@ -456,6 +458,99 @@ def _cmd_chaos(args) -> None:
     _maybe_stats(args)
 
 
+def _sessions_grid(args):
+    """Parse and validate the sessions sweep grid from CLI options."""
+    from .sessions import SCHEDULERS
+
+    schedulers = tuple(s for s in args.schedulers.split(",") if s)
+    for name in schedulers:
+        if name not in SCHEDULERS:
+            raise ValidationError(
+                f"unknown scheduler {name!r}; choose from {sorted(SCHEDULERS)}"
+            )
+    try:
+        loads = tuple(float(v) for v in args.loads.split(",") if v)
+    except ValueError as exc:
+        raise ValidationError(f"--loads must be comma-separated numbers: {exc}")
+    for value in loads:
+        check_positive_number("--loads", value)
+    if not schedulers or not loads:
+        raise ValidationError("--schedulers and --loads must be non-empty")
+    return schedulers, loads
+
+
+def _trace_sessions(args) -> None:
+    """One traced representative run, so --trace-out shows per-session tracks."""
+    from .analysis.experiments import _testbed
+    from .obs import Tracer
+    from .params import PAPER_PARAMS
+    from .sessions import SessionSimulator
+    from .sessions.sweep import SAFETY_LIMIT, _workload
+
+    schedulers, loads = _sessions_grid(args)
+    scheduler, load = schedulers[0], loads[-1]
+    m = PAPER_PARAMS.packets_for(args.bytes)
+    tracer = Tracer()
+    topology, router, ordering = _testbed(1997 + args.seed)
+    sessions = _workload(
+        args.arrival, ordering, load=load, seed=args.seed,
+        count=args.count, dests=args.dests, m=m,
+    )
+    simulator = SessionSimulator(
+        topology, router, ordering,
+        scheduler=scheduler, max_active=args.max_active, tracer=tracer,
+    )
+    simulator.run_sessions(sessions, time_limit=SAFETY_LIMIT)
+    _finish_trace(
+        args, tracer, seed=args.seed,
+        params={
+            "scheduler": scheduler, "load": load, "arrival": args.arrival,
+            "count": args.count, "dests": args.dests, "bytes": args.bytes,
+        },
+    )
+
+
+def _cmd_sessions(args) -> None:
+    """Concurrent-sessions sweep: schedulers × offered load, one table out."""
+    import json as _json
+
+    from .params import PAPER_PARAMS
+    from .sessions import records_json, sessions_smoke, sessions_sweep, sessions_table
+
+    if args.smoke:
+        records = sessions_smoke(workers=args.workers)
+    else:
+        schedulers, loads = _sessions_grid(args)
+        m = PAPER_PARAMS.packets_for(args.bytes)
+        seeds = tuple(range(args.seed, args.seed + args.runs))
+        records = sessions_sweep(
+            schedulers, loads, seeds,
+            workers=args.workers, checkpoint=_checkpoint_of(args),
+            arrival=args.arrival, count=args.count, dests=args.dests, m=m,
+            max_active=args.max_active,
+        )
+    print(sessions_table(records))
+    if args.smoke:
+        print("sessions smoke OK: every session completed, contention measured")
+    if args.out:
+        from .durable import atomic_write_json
+        from .obs import run_manifest
+
+        payload = {
+            "version": 1,
+            "manifest": run_manifest(
+                seed=args.seed, extra={"command": "sessions", "smoke": bool(args.smoke)}
+            ),
+            "records": _json.loads(records_json(records)),
+        }
+        atomic_write_json(args.out, payload, sort_keys=True)
+        print(f"wrote {args.out}")
+    if getattr(args, "trace_out", None):
+        _trace_sessions(args)
+    _report_checkpoint(args)
+    _maybe_stats(args)
+
+
 def _cmd_decoster(args) -> None:
     from .core import (
         decoster_latency,
@@ -733,6 +828,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the unified metrics snapshot after the sweep",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "sessions", help="concurrent multicast sessions under contention-aware scheduling"
+    )
+    p.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized check: FIFO vs CDA at high offered load",
+    )
+    p.add_argument(
+        "--schedulers", default="fifo,rr,sjf,cda",
+        help="comma list of admission schedulers (fifo|rr|sjf|cda)",
+    )
+    p.add_argument(
+        "--loads", default="0.5,1.0,2.0",
+        help="comma list of offered-load multipliers",
+    )
+    p.add_argument(
+        "--arrival", default="flash_crowd",
+        choices=["flash_crowd", "poisson", "batch"],
+        help="arrival process shaping the workload",
+    )
+    p.add_argument("--seed", type=int, default=0, help="first sweep seed")
+    p.add_argument("--runs", type=int, default=3, help="seeds per (scheduler, load) cell")
+    p.add_argument("--count", type=int, default=10, help="sessions per run")
+    p.add_argument("--dests", type=int, default=15, help="largest destination-set size")
+    p.add_argument("--bytes", type=int, default=512, help="message size per session")
+    p.add_argument(
+        "--max-active", dest="max_active", type=int, default=2,
+        help="concurrent-session admission slots",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the sweep grid (results identical for any count)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH", help="write records + manifest JSON")
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed chunks here; rerun with the same path to "
+             "resume a killed sweep",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="require the --checkpoint file to already exist",
+    )
+    p.add_argument(
+        "--trace-out", dest="trace_out", default=None, metavar="PATH",
+        help="write a Chrome trace of one representative run — each session "
+             "gets its own named track (open in Perfetto)",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after the sweep",
+    )
+    p.set_defaults(func=_cmd_sessions)
 
     p = sub.add_parser("decoster", help="compare with De Coster [2] host packetization")
     p.add_argument("-n", type=int, default=64, help="multicast set size")

@@ -223,13 +223,43 @@ class MulticastSimulator:
         """
         if not multicasts:
             raise ValueError("run_many needs at least one multicast")
-        hosts = set(self.topology.hosts)
         for tree, num_packets in multicasts:
-            tree.validate()
-            for node in tree.nodes():
-                if node not in hosts:
-                    raise ValueError(f"tree node {node!r} is not a host of this topology")
+            self._check_tree(tree)
 
+        env, trace, pool, registry = self._build_network()
+
+        messages = []
+        for tree, num_packets in multicasts:
+            message = Message(
+                source=tree.root,
+                destinations=tuple(tree.destinations()),
+                num_packets=num_packets,
+            )
+            messages.append(message)
+            self._start_multicast(env, registry, tree, message)
+        self._drain(env, time_limit=time_limit, strict=strict)
+
+        self.last_trace = trace if self.collect_trace else None
+        self.last_registry = registry
+        self._publish_gauges(registry)
+        return env, trace, pool, registry, messages
+
+    def _check_tree(self, tree: MulticastTree) -> None:
+        """Validate a tree and confirm every node is a topology host."""
+        tree.validate()
+        hosts = set(self.topology.hosts)
+        for node in tree.nodes():
+            if node not in hosts:
+                raise ValueError(f"tree node {node!r} is not a host of this topology")
+
+    def _build_network(self):
+        """Fresh environment, channel pool, and one NI per host.
+
+        No messages are installed yet — :meth:`_execute` admits them all
+        at time zero, while :class:`repro.sessions.SessionSimulator`
+        reuses this exact fabric and admits messages as its scheduler
+        decides.  Returns ``(env, trace, pool, registry)``.
+        """
         env = Environment()
         trace = Trace(env, enabled=self.collect_trace)
         tracer = self.tracer
@@ -253,23 +283,25 @@ class MulticastSimulator:
                 tracer=tracer,
             )
         self._post_build(env, registry, pool)
+        return env, trace, pool, registry
 
-        messages = []
-        for tree, num_packets in multicasts:
-            message = Message(
-                source=tree.root,
-                destinations=tuple(tree.destinations()),
-                num_packets=num_packets,
-            )
-            messages.append(message)
-            for node in tree.nodes():
-                registry.lookup(node).forwarding[message.msg_id] = tree.children(node)
-            self._install_extras(registry, tree, message)
-            source_ni = registry.lookup(tree.root)
-            env.process(
-                source_ni.inject_multicast(tree, message),
-                name=f"inject-{message.msg_id}",
-            )
+    def _start_multicast(
+        self, env: Environment, registry: NICRegistry, tree: MulticastTree, message: Message
+    ) -> None:
+        """Install forwarding tables for ``message`` and start injection."""
+        for node in tree.nodes():
+            registry.lookup(node).forwarding[message.msg_id] = tree.children(node)
+        self._install_extras(registry, tree, message)
+        source_ni = registry.lookup(tree.root)
+        env.process(
+            source_ni.inject_multicast(tree, message),
+            name=f"inject-{message.msg_id}",
+        )
+
+    def _drain(
+        self, env: Environment, time_limit: Optional[float] = None, strict: bool = True
+    ) -> None:
+        """Run ``env`` to quiescence (or ``time_limit``; strict = raise)."""
         if time_limit is not None:
             env.run(until=time_limit)
             if strict and len(env):
@@ -280,11 +312,6 @@ class MulticastSimulator:
                 )
         else:
             env.run()
-
-        self.last_trace = trace if self.collect_trace else None
-        self.last_registry = registry
-        self._publish_gauges(registry)
-        return env, trace, pool, registry, messages
 
     def _publish_gauges(self, registry: NICRegistry) -> None:
         """Close every NI buffer monitor and publish run-level gauges.

@@ -139,6 +139,12 @@ class NetworkInterface:
         #: = healthy NI; the engines test one attribute per packet, so
         #: the no-fault path stays within noise of the pre-fault code).
         self.fault_gate = None
+        #: Delivery listener installed by :mod:`repro.sessions`
+        #: (``None`` = no observer).  Called synchronously as
+        #: ``listener(ni, packet)`` right after a delivery is recorded,
+        #: so observing completions costs zero simulated time and the
+        #: unobserved path tests one attribute, like :attr:`fault_gate`.
+        self.delivery_listener = None
         #: Packets held for forwarding/replication at this NI.
         self.forward_buffer = LevelMonitor(env)
         #: (msg_id, packet_index) -> NI receive completion time.
@@ -204,6 +210,8 @@ class NetworkInterface:
             if key in self.received_at:
                 raise RuntimeError(f"duplicate delivery of {packet!r} at {self.host!r}")
             self.received_at[key] = self.env.now
+            if self.delivery_listener is not None:
+                self.delivery_listener(self, packet)
             if self.trace.enabled:
                 self.trace.log(
                     "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index

@@ -160,6 +160,8 @@ class ReliableFPFSInterface(FPFSInterface):
                 # Duplicate from a retransmission race: drop silently.
                 continue
             self.received_at[key] = self.env.now
+            if self.delivery_listener is not None:
+                self.delivery_listener(self, packet)
             if self.trace.enabled:
                 self.trace.log(
                     "ni_recv", host=self.host, msg=packet.message.msg_id, pkt=packet.index

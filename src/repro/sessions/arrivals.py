@@ -1,0 +1,186 @@
+"""Seedable arrival-process generators for session workloads.
+
+Three canonical offered-load shapes, all driven by a private
+``random.Random`` seeded from a string key — same seed, same sessions,
+on any platform, in any worker process (the sweep's workers=1 vs
+workers=4 determinism test leans on this):
+
+``poisson``
+    Independent sessions with exponential inter-arrival times at a
+    given ``rate`` (sessions per µs) — the steady-state open-loop load.
+``batch``
+    All sessions arrive together (or at a fixed ``spacing``) — the
+    synchronized-collective pattern, and the worst case for FIFO.
+``flash_crowd``
+    Arrivals crowd into a short ``window`` and group sizes follow a
+    truncated Zipf (many small groups, a few huge ones) — the regime
+    where congestion+dilation-aware ordering earns its keep.
+
+Generators assign dense ``session_id`` 0..count-1 in generation order,
+so a (kind, seed, parameters) triple fully determines the session set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..network.topology import Node
+from .session import Session
+
+__all__ = [
+    "ARRIVALS",
+    "batch_sessions",
+    "flash_crowd_sessions",
+    "generate_sessions",
+    "poisson_sessions",
+]
+
+
+def _check_common(hosts: Sequence[Node], count: int, packets: int) -> None:
+    if len(hosts) < 2:
+        raise ValueError(f"need at least 2 hosts, got {len(hosts)}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if packets < 1:
+        raise ValueError(f"packets must be >= 1, got {packets}")
+
+
+def _pick_group(rng: random.Random, hosts: Sequence[Node], dests: int):
+    """One (source, destinations) draw of ``dests`` destinations."""
+    picked = rng.sample(list(hosts), dests + 1)
+    return picked[0], tuple(picked[1:])
+
+
+def poisson_sessions(
+    hosts: Sequence[Node],
+    *,
+    count: int,
+    rate: float,
+    dests: int,
+    packets: int,
+    seed: int,
+) -> Tuple[Session, ...]:
+    """``count`` sessions with exponential inter-arrivals at ``rate``/µs."""
+    _check_common(hosts, count, packets)
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 1 <= dests <= len(hosts) - 1:
+        raise ValueError(f"dests must be in [1, {len(hosts) - 1}], got {dests}")
+    rng = random.Random(f"sessions:poisson:{seed}")
+    sessions: List[Session] = []
+    clock = 0.0
+    for sid in range(count):
+        clock += rng.expovariate(rate)
+        source, targets = _pick_group(rng, hosts, dests)
+        sessions.append(
+            Session(
+                source=source,
+                destinations=targets,
+                num_packets=packets,
+                arrival_time=clock,
+                session_id=sid,
+            )
+        )
+    return tuple(sessions)
+
+
+def batch_sessions(
+    hosts: Sequence[Node],
+    *,
+    count: int,
+    dests: int,
+    packets: int,
+    seed: int,
+    spacing: float = 0.0,
+) -> Tuple[Session, ...]:
+    """``count`` sessions arriving together (or every ``spacing`` µs)."""
+    _check_common(hosts, count, packets)
+    if spacing < 0:
+        raise ValueError(f"spacing must be >= 0, got {spacing}")
+    if not 1 <= dests <= len(hosts) - 1:
+        raise ValueError(f"dests must be in [1, {len(hosts) - 1}], got {dests}")
+    rng = random.Random(f"sessions:batch:{seed}")
+    sessions: List[Session] = []
+    for sid in range(count):
+        source, targets = _pick_group(rng, hosts, dests)
+        sessions.append(
+            Session(
+                source=source,
+                destinations=targets,
+                num_packets=packets,
+                arrival_time=sid * spacing,
+                session_id=sid,
+            )
+        )
+    return tuple(sessions)
+
+
+def _zipf_draw(rng: random.Random, max_value: int, a: float) -> int:
+    """Truncated Zipf draw over 1..max_value via inverse CDF."""
+    weights = [1.0 / (v ** a) for v in range(1, max_value + 1)]
+    total = sum(weights)
+    x = rng.random() * total
+    for value, weight in enumerate(weights, start=1):
+        x -= weight
+        if x <= 0:
+            return value
+    return max_value
+
+
+def flash_crowd_sessions(
+    hosts: Sequence[Node],
+    *,
+    count: int,
+    max_dests: int,
+    packets: int,
+    seed: int,
+    window: float = 50.0,
+    zipf_a: float = 0.9,
+) -> Tuple[Session, ...]:
+    """``count`` sessions crowding into ``window`` µs, Zipf group sizes.
+
+    Group sizes are ``1..max_dests`` with Zipf(``zipf_a``) weights —
+    small groups dominate, but the tail produces occasional very large
+    sessions, which is exactly what separates size-aware schedulers
+    from FIFO.  A smaller ``window`` (higher offered load) sharpens the
+    crowd.
+    """
+    _check_common(hosts, count, packets)
+    if window < 0:
+        raise ValueError(f"window must be >= 0, got {window}")
+    if zipf_a <= 0:
+        raise ValueError(f"zipf_a must be positive, got {zipf_a}")
+    if not 1 <= max_dests <= len(hosts) - 1:
+        raise ValueError(f"max_dests must be in [1, {len(hosts) - 1}], got {max_dests}")
+    rng = random.Random(f"sessions:flash_crowd:{seed}")
+    arrivals = sorted(rng.uniform(0.0, window) for _ in range(count))
+    sessions: List[Session] = []
+    for sid in range(count):
+        dests = _zipf_draw(rng, max_dests, zipf_a)
+        source, targets = _pick_group(rng, hosts, dests)
+        sessions.append(
+            Session(
+                source=source,
+                destinations=targets,
+                num_packets=packets,
+                arrival_time=arrivals[sid],
+                session_id=sid,
+            )
+        )
+    return tuple(sessions)
+
+
+#: kind -> generator, the CLI/sweep-facing registry.
+ARRIVALS: Dict[str, Callable[..., Tuple[Session, ...]]] = {
+    "poisson": poisson_sessions,
+    "batch": batch_sessions,
+    "flash_crowd": flash_crowd_sessions,
+}
+
+
+def generate_sessions(kind: str, hosts: Sequence[Node], **kwargs) -> Tuple[Session, ...]:
+    """Dispatch to an :data:`ARRIVALS` generator by name."""
+    if kind not in ARRIVALS:
+        raise ValueError(f"unknown arrival process {kind!r}; choose from {sorted(ARRIVALS)}")
+    return ARRIVALS[kind](hosts, **kwargs)

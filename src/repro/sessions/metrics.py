@@ -1,0 +1,77 @@
+"""Session-layer metrics, surfaced through ``GLOBAL_METRICS``.
+
+One process-wide :class:`SessionMetrics` instance counts session-layer
+activity (sessions planned / admitted / completed, concurrent runs)
+and keeps the latest run's distribution summary, registering itself as
+the ``"sessions"`` provider of :data:`repro.obs.GLOBAL_METRICS` the
+first time anything moves — the same lazy re-registration contract as
+:data:`repro.durable.metrics.DURABLE_METRICS`, so it survives the
+test-isolation ``GLOBAL_METRICS.reset()`` and reappears on the next
+run.  The autouse conftest fixture calls :meth:`SessionMetrics.reset`
+so session state never leaks between test cases.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["SESSION_METRICS", "SessionMetrics"]
+
+_COUNTERS = (
+    "sessions_planned",
+    "sessions_admitted",
+    "sessions_completed",
+    "runs",
+)
+
+
+class SessionMetrics:
+    """Thread-safe session counters + last-run distribution gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in _COUNTERS}
+        self._last_run: Dict[str, float] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        """Add ``by`` to counter ``name`` (a :data:`_COUNTERS` member)."""
+        if name not in self._counts:
+            raise KeyError(f"unknown session counter {name!r}")
+        with self._lock:
+            self._counts[name] += by
+        self._ensure_registered()
+
+    def record_run(self, summary: Dict[str, float]) -> None:
+        """Publish one run's distribution summary as the live gauges."""
+        with self._lock:
+            self._last_run = dict(summary)
+            self._counts["runs"] += 1
+        self._ensure_registered()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters merged with the latest run's summary gauges."""
+        with self._lock:
+            out: Dict[str, float] = dict(self._counts)
+            out.update(self._last_run)
+            return out
+
+    def reset(self) -> None:
+        """Zero counters and drop run gauges (test isolation)."""
+        with self._lock:
+            for name in self._counts:
+                self._counts[name] = 0
+            self._last_run = {}
+
+    def _ensure_registered(self) -> None:
+        # Re-registered on every movement, not once: the test-isolation
+        # GLOBAL_METRICS.reset() drops runtime providers and the next
+        # session activity must re-announce us (the durable-layer
+        # counters follow the same contract).
+        from ..obs.metrics import GLOBAL_METRICS
+
+        GLOBAL_METRICS.register("sessions", self.snapshot)
+
+
+#: The process-wide session-layer counters and gauges.
+SESSION_METRICS = SessionMetrics()

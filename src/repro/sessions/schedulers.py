@@ -1,0 +1,157 @@
+"""Inter-session schedulers: who gets admitted to the fabric next.
+
+The arbiter (:mod:`repro.sessions.contention`) calls
+:meth:`SessionScheduler.pick` every time an admission slot frees up,
+handing it the ready queue, the currently active sessions, and the
+live per-channel sharing counts.  Four disciplines ship:
+
+``fifo``
+    Strict arrival order — the baseline every queueing result is read
+    against.
+``rr``
+    Arrival-order admission plus *packet-level* round-robin interleave
+    at every shared NI send queue (reuses the ``round_robin`` send
+    policy of :mod:`repro.nic.scheduling`), so co-admitted sessions
+    time-slice an NI instead of head-of-line blocking each other.
+``sjf``
+    Shortest-session-first over the work proxy ``m · |dests|`` — the
+    classic mean-latency optimizer.
+``cda``
+    Congestion+dilation-aware, after Haeupler et al.'s simultaneous
+    multicast schedules: prefer the ready session whose routed tree
+    overlaps the *least* with channels the active sessions are using
+    (congestion), then the shallowest routed tree (dilation), then the
+    least work.  Under flash-crowd load this both avoids co-scheduling
+    sessions that would fight for the same trunk links and keeps big
+    sessions from delaying many small ones.
+
+All orderings break ties on ``(arrival_time, session_id)``, so every
+scheduler is a total deterministic order and runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple, Union
+
+from ..core.trees import MulticastTree
+from .session import Session
+
+__all__ = [
+    "SCHEDULERS",
+    "CongestionDilationScheduler",
+    "FifoScheduler",
+    "RoundRobinScheduler",
+    "SessionPlan",
+    "SessionScheduler",
+    "ShortestSessionFirst",
+    "make_scheduler",
+]
+
+
+@dataclass(eq=False)
+class SessionPlan:
+    """A planned session: its tree plus what schedulers ask about it.
+
+    ``links`` is the set of channel keys every tree edge's route
+    crosses; ``dilation`` is the deepest root→leaf hop count through
+    the routed network.  Identity equality (``eq=False``): the arbiter
+    tracks plans by object, and two distinct sessions may plan
+    identical trees.
+    """
+
+    session: Session
+    tree: MulticastTree
+    #: Fan-out cap the tree was built with (Theorem 3 unless overridden).
+    k: int
+    #: Channel keys used by the routed tree edges.
+    links: frozenset = field(default_factory=frozenset)
+    #: Max hops on any root→leaf path through the routed tree.
+    dilation: int = 0
+
+    @property
+    def work(self) -> int:
+        return self.session.work
+
+
+class SessionScheduler:
+    """Admission-order policy (subclass hook: :meth:`pick`)."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+    #: NI send-queue policy the simulator should build the fabric with.
+    send_policy = "fifo"
+
+    def pick(
+        self,
+        ready: Sequence[SessionPlan],
+        active: Sequence[SessionPlan],
+        link_load: Mapping,
+    ) -> SessionPlan:
+        """Choose the next session to admit from non-empty ``ready``."""
+        raise NotImplementedError
+
+
+class FifoScheduler(SessionScheduler):
+    """Admit in strict (arrival_time, session_id) order."""
+
+    name = "fifo"
+
+    def pick(self, ready, active, link_load):
+        return min(ready, key=lambda p: p.session.sort_key)
+
+
+class RoundRobinScheduler(FifoScheduler):
+    """FIFO admission + round-robin packet interleave at shared NIs.
+
+    Admission order is identical to FIFO; the difference is the fabric:
+    the simulator builds every NI with the ``round_robin`` send queue,
+    so packets of co-admitted sessions alternate at a shared interface
+    instead of draining one session's backlog first.
+    """
+
+    name = "rr"
+    send_policy = "round_robin"
+
+
+class ShortestSessionFirst(SessionScheduler):
+    """Least work (m · |dests|) first; ties on arrival order."""
+
+    name = "sjf"
+
+    def pick(self, ready, active, link_load):
+        return min(ready, key=lambda p: (p.work,) + p.session.sort_key)
+
+
+class CongestionDilationScheduler(SessionScheduler):
+    """Least overlap with active sessions, then dilation, then work."""
+
+    name = "cda"
+
+    def pick(self, ready, active, link_load):
+        def score(plan: SessionPlan) -> Tuple:
+            congestion = sum(link_load.get(link, 0) for link in plan.links)
+            return (congestion, plan.dilation, plan.work) + plan.session.sort_key
+
+        return min(ready, key=score)
+
+
+#: name -> scheduler class, the CLI/sweep-facing registry.
+SCHEDULERS: Dict[str, type] = {
+    cls.name: cls
+    for cls in (
+        FifoScheduler,
+        RoundRobinScheduler,
+        ShortestSessionFirst,
+        CongestionDilationScheduler,
+    )
+}
+
+
+def make_scheduler(spec: Union[str, SessionScheduler]) -> SessionScheduler:
+    """Resolve a scheduler name or pass an instance through."""
+    if isinstance(spec, SessionScheduler):
+        return spec
+    if spec not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {spec!r}; choose from {sorted(SCHEDULERS)}")
+    return SCHEDULERS[spec]()

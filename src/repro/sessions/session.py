@@ -1,0 +1,209 @@
+"""Session abstraction: one multicast demand with an arrival time.
+
+A :class:`Session` is what the solo simulator never had to model — a
+multicast *request* that shows up at some point in time, wants a
+specific destination set and message size, and competes with every
+other live session for the same links and NI ports.  Sessions carry an
+optional per-session fan-out override ``k`` (``None`` = let the planner
+resolve Theorem 3's optimum for this (n, m)).
+
+:class:`SessionResult` and :class:`SessionSetResult` are the two
+reporting shapes: per-session latency/queueing/slowdown, and the
+distribution over a whole run (p50/p95/p99 via the deterministic
+nearest-rank rule, mean slowdown vs. isolated, makespan).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..mcast.simulator import MulticastResult
+from ..network.topology import Node
+
+__all__ = [
+    "Session",
+    "SessionResult",
+    "SessionSetResult",
+    "nearest_rank",
+]
+
+
+def nearest_rank(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile: the smallest value ≥ a ``q`` fraction.
+
+    No interpolation — the answer is always one of ``values`` — so
+    percentile reports are bit-stable across platforms and worker
+    counts.  ``q`` is a fraction in (0, 1]; ``q=0.5`` is the median.
+    """
+    if not values:
+        raise ValueError("nearest_rank needs at least one value")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class Session:
+    """One multicast demand: who, how much, and when.
+
+    ``session_id`` orders ties deterministically everywhere (schedulers,
+    logs, reports); generators assign ids densely from 0 so a session
+    set is reproducible across worker processes.
+    """
+
+    #: Originating host.
+    source: Node
+    #: Destination hosts (non-empty, no duplicates, source excluded).
+    destinations: Tuple[Node, ...]
+    #: Message size in packets (m ≥ 1).
+    num_packets: int
+    #: Simulated time (µs) at which this session arrives (≥ 0).
+    arrival_time: float = 0.0
+    #: Per-session fan-out cap override (``None`` = Theorem 3 optimum).
+    k: Optional[int] = None
+    #: Dense id; ties on arrival time break on this.
+    session_id: int = 0
+
+    def __post_init__(self) -> None:
+        dests = tuple(self.destinations)
+        if not dests:
+            raise ValueError("a session needs at least one destination")
+        if len(set(dests)) != len(dests):
+            raise ValueError(f"duplicate destinations in session: {dests!r}")
+        if self.source in dests:
+            raise ValueError(f"source {self.source!r} cannot be a destination")
+        if self.num_packets < 1:
+            raise ValueError(f"num_packets must be >= 1, got {self.num_packets}")
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.k is not None and self.k < 1:
+            raise ValueError(f"k must be >= 1 when given, got {self.k}")
+        object.__setattr__(self, "destinations", dests)
+
+    @property
+    def n(self) -> int:
+        """Paper convention: source plus destinations."""
+        return 1 + len(self.destinations)
+
+    @property
+    def work(self) -> int:
+        """Service-demand proxy: packet copies to deliver (m · |dests|)."""
+        return self.num_packets * len(self.destinations)
+
+    @property
+    def sort_key(self) -> Tuple[float, int]:
+        """Canonical FIFO order: arrival time, then id."""
+        return (self.arrival_time, self.session_id)
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What one session experienced in a concurrent run."""
+
+    #: The demand this result answers.
+    session: Session
+    #: Time the scheduler admitted the session (≥ arrival_time).
+    admitted_at: float
+    #: The underlying solo-style measurements (absolute sim times).
+    result: MulticastResult
+    #: End-to-end latency from *arrival* (completion − arrival + t_r).
+    latency: float
+    #: Latency from *admission* (completion − admitted + t_r).
+    service_latency: float
+    #: Latency of the same session alone on an idle fabric, when the
+    #: run measured it (``measure_isolated=True``); else ``None``.
+    isolated_latency: Optional[float] = None
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for admission (admitted − arrival)."""
+        return self.admitted_at - self.session.arrival_time
+
+    @property
+    def slowdown(self) -> Optional[float]:
+        """latency / isolated latency (``None`` without a baseline)."""
+        if self.isolated_latency is None:
+            return None
+        return self.latency / self.isolated_latency
+
+
+@dataclass(frozen=True)
+class SessionSetResult:
+    """Distribution-level report over one concurrent run."""
+
+    #: Per-session results, in canonical FIFO (arrival, id) order.
+    results: Tuple[SessionResult, ...]
+    #: Name of the scheduler that ordered admissions.
+    scheduler: str
+    #: Last completion (+ t_r) minus earliest arrival: the run's span.
+    makespan: float
+    #: Total channel-blocked time across the run (contention burned).
+    blocked_time: float
+    #: Peak number of sessions simultaneously sharing any one channel.
+    peak_link_sharing: int
+    #: Derived fields filled in __post_init__.
+    latencies: Tuple[float, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a session set result needs at least one session")
+        object.__setattr__(
+            self, "latencies", tuple(r.latency for r in self.results)
+        )
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def p50(self) -> float:
+        return nearest_rank(self.latencies, 0.50)
+
+    @property
+    def p95(self) -> float:
+        return nearest_rank(self.latencies, 0.95)
+
+    @property
+    def p99(self) -> float:
+        return nearest_rank(self.latencies, 0.99)
+
+    @property
+    def mean_queueing(self) -> float:
+        return sum(r.queueing_delay for r in self.results) / len(self.results)
+
+    @property
+    def slowdowns(self) -> Tuple[float, ...]:
+        """Per-session slowdowns (empty when isolated baselines were off)."""
+        return tuple(r.slowdown for r in self.results if r.slowdown is not None)
+
+    @property
+    def mean_slowdown(self) -> Optional[float]:
+        s = self.slowdowns
+        return (sum(s) / len(s)) if s else None
+
+    @property
+    def max_slowdown(self) -> Optional[float]:
+        s = self.slowdowns
+        return max(s) if s else None
+
+    def summary(self) -> Dict[str, float]:
+        """Flat JSON-safe gauge dict (the ``"sessions"`` metrics view)."""
+        out = {
+            "sessions": float(len(self.results)),
+            "mean_latency": self.mean_latency,
+            "p50_latency": self.p50,
+            "p95_latency": self.p95,
+            "p99_latency": self.p99,
+            "mean_queueing": self.mean_queueing,
+            "makespan": self.makespan,
+            "blocked_time": self.blocked_time,
+            "peak_link_sharing": float(self.peak_link_sharing),
+        }
+        if self.mean_slowdown is not None:
+            out["mean_slowdown"] = self.mean_slowdown
+            out["max_slowdown"] = self.max_slowdown
+        return out

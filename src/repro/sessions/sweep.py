@@ -1,0 +1,216 @@
+"""Session-scenario sweep: schedulers × offered load × seeds.
+
+Each grid point generates one seeded session workload on the 64-host
+irregular testbed, runs it under one scheduler, and reports a flat
+JSON-safe record: the latency distribution (p50/p95/p99, mean),
+queueing delay, slowdown vs. isolated runs, makespan, and contention
+gauges.  ``load`` is a dimensionless offered-load multiplier: it
+shrinks the flash-crowd window (or batch spacing) and scales the
+Poisson rate, so higher load = more simultaneous sessions.
+
+The sweep runs on :func:`repro.analysis.sweep.run_sweep`, inheriting
+``workers=N`` process fan-out, progress, checkpoint/resume, and the
+grid-order merge — :func:`records_json` of the same grid is
+byte-identical for any worker count (the determinism suite pins
+workers=1 vs 4), and a killed campaign resumes from its checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import partial
+from typing import List, Optional, Sequence, Union
+
+from ..analysis.experiments import _testbed
+from ..analysis.sweep import run_sweep
+from ..analysis.tables import render_table
+from ..obs.tracer import Tracer
+from .arrivals import generate_sessions
+from .schedulers import SCHEDULERS
+from .simulator import SessionSimulator
+
+__all__ = [
+    "DEFAULT_LOADS",
+    "records_json",
+    "sessions_point",
+    "sessions_smoke",
+    "sessions_sweep",
+    "sessions_table",
+]
+
+#: The three canonical offered-load points of the weekly benchmark.
+DEFAULT_LOADS = (0.5, 1.0, 2.0)
+
+#: Flash-crowd window (µs) at load 1.0; load L divides it by L.
+BASE_WINDOW = 100.0
+#: Poisson arrival rate (sessions/µs) at load 1.0; load L multiplies it.
+BASE_RATE = 0.01
+#: Batch spacing (µs) at load 1.0; load L divides it.
+BASE_SPACING = 150.0
+#: Livelock guard for every concurrent run (µs of simulated time).
+SAFETY_LIMIT = 1_000_000.0
+
+
+def _workload(arrival: str, hosts, *, load: float, seed: int, count: int, dests: int, m: int):
+    """The seeded session set for one (arrival, load, seed) cell."""
+    if load <= 0:
+        raise ValueError(f"load must be positive, got {load}")
+    if arrival == "flash_crowd":
+        return generate_sessions(
+            arrival, hosts, count=count, max_dests=dests, packets=m,
+            seed=seed, window=BASE_WINDOW / load,
+        )
+    if arrival == "poisson":
+        return generate_sessions(
+            arrival, hosts, count=count, dests=dests, packets=m,
+            seed=seed, rate=BASE_RATE * load,
+        )
+    if arrival == "batch":
+        return generate_sessions(
+            arrival, hosts, count=count, dests=dests, packets=m,
+            seed=seed, spacing=BASE_SPACING / load,
+        )
+    raise ValueError(f"unknown arrival process {arrival!r}")
+
+
+def sessions_point(
+    scheduler: str,
+    load: float,
+    seed: int,
+    *,
+    arrival: str = "flash_crowd",
+    count: int = 10,
+    dests: int = 15,
+    m: int = 8,
+    max_active: Optional[int] = 2,
+    measure_isolated: bool = True,
+) -> dict:
+    """One concurrent-sessions run; pure function of its arguments.
+
+    Builds the standard testbed for ``seed``, generates the seeded
+    workload, runs it under ``scheduler``, and flattens the
+    :class:`~repro.sessions.session.SessionSetResult` summary into a
+    JSON-safe record (picklable — safe for sweep worker processes).
+    """
+    topology, router, ordering = _testbed(1997 + seed)
+    sessions = _workload(
+        arrival, ordering, load=load, seed=seed, count=count, dests=dests, m=m
+    )
+    simulator = SessionSimulator(
+        topology, router, ordering, scheduler=scheduler, max_active=max_active
+    )
+    result = simulator.run_sessions(
+        sessions, time_limit=SAFETY_LIMIT, measure_isolated=measure_isolated
+    )
+    record = {
+        "scheduler": scheduler,
+        "load": load,
+        "seed": seed,
+        "arrival": arrival,
+        "count": count,
+        "dests": dests,
+        "m": m,
+        "max_active": max_active,
+        "completed": len(result.results),
+    }
+    record.update(result.summary())
+    return record
+
+
+def sessions_sweep(
+    schedulers: Sequence[str] = tuple(sorted(SCHEDULERS)),
+    loads: Sequence[float] = DEFAULT_LOADS,
+    seeds: Sequence[int] = (0, 1, 2),
+    *,
+    workers: int = 1,
+    tracer: Optional[Tracer] = None,
+    checkpoint: Union[None, str, os.PathLike] = None,
+    **point_kwargs,
+) -> List[dict]:
+    """All scheduler × load × seed session records, in grid order.
+
+    Results are independent of ``workers`` (grid-order merge), so the
+    canonical :func:`records_json` serialization is byte-identical for
+    any worker count; ``checkpoint`` journals completed chunks so a
+    killed campaign resumes instead of restarting.
+    """
+    points = run_sweep(
+        partial(sessions_point, **point_kwargs),
+        {"scheduler": list(schedulers), "load": list(loads), "seed": list(seeds)},
+        workers=workers,
+        tracer=tracer,
+        checkpoint=checkpoint,
+    )
+    return [p.value for p in points]
+
+
+def records_json(records: Sequence[dict]) -> str:
+    """Canonical JSON for a record list (sorted keys, compact, stable)."""
+    return json.dumps(list(records), sort_keys=True, separators=(",", ":"))
+
+
+def sessions_table(records: Sequence[dict]) -> str:
+    """Render session records as the scheduler-comparison table."""
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r["scheduler"],
+                r["load"],
+                r["seed"],
+                int(r["completed"]),
+                round(r["mean_latency"], 1),
+                round(r["p50_latency"], 1),
+                round(r["p95_latency"], 1),
+                round(r["p99_latency"], 1),
+                round(r["mean_queueing"], 1),
+                "-" if "mean_slowdown" not in r else round(r["mean_slowdown"], 2),
+                round(r["makespan"], 1),
+            ]
+        )
+    return render_table(
+        [
+            "sched",
+            "load",
+            "seed",
+            "done",
+            "mean us",
+            "p50",
+            "p95",
+            "p99",
+            "queue us",
+            "slowdn",
+            "makespan",
+        ],
+        rows,
+        title="concurrent sessions: scheduler comparison vs offered load",
+    )
+
+
+def sessions_smoke(workers: int = 1) -> List[dict]:
+    """The CI-sized sessions run: FIFO vs CDA at high offered load.
+
+    Sanity-checks the subsystem end to end: every session of every run
+    must complete, no session may finish faster than its isolated
+    baseline (slowdown ≥ 1), and the flash crowd must actually contend
+    (mean slowdown > 1 somewhere).  Raises ``AssertionError`` on
+    violation (so the CI step fails loudly), returns the records.
+    """
+    records = sessions_sweep(
+        schedulers=("fifo", "cda"),
+        loads=(2.0,),
+        seeds=(0,),
+        workers=workers,
+        count=6,
+        dests=9,
+        m=3,
+    )
+    assert records, "sessions smoke produced no records"
+    for record in records:
+        assert record["completed"] == record["count"], f"sessions lost: {record}"
+        assert record["mean_slowdown"] >= 1.0 - 1e-9, f"faster than isolated: {record}"
+        assert record["mean_queueing"] >= 0.0, f"negative queueing: {record}"
+    contended = max(r["mean_slowdown"] for r in records)
+    assert contended > 1.0, f"no contention at load 2.0: {records}"
+    return records

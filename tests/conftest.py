@@ -22,9 +22,14 @@ def _reset_global_metrics():
     become order-dependent.
     """
     from repro.obs import GLOBAL_METRICS
+    from repro.sessions import SESSION_METRICS
 
     yield
     GLOBAL_METRICS.reset()
+    # Session counters live outside the registry (they lazily
+    # re-register as the "sessions" provider) — zero them too, or a
+    # metrics-asserting session test sees its predecessors' runs.
+    SESSION_METRICS.reset()
 
 
 @pytest.fixture

@@ -1,0 +1,37 @@
+"""Shared fixtures for the sessions suite: a fast contention-rich fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import Topology, UpDownRouter, host, switch
+from repro.params import SystemParams
+
+#: Step-aligned timing (one send = 2 units) — fast, hand-checkable runs.
+STEP_PARAMS = SystemParams(
+    t_s=0.0,
+    t_r=0.0,
+    t_ns=1.0,
+    t_nr=0.0,
+    t_switch=0.0,
+    link_bandwidth=64.0,
+    packet_bytes=64,
+)
+
+STAR_HOSTS = 12
+
+
+def star(n_hosts: int):
+    """Single-switch star: pairwise-disjoint routes between distinct pairs."""
+    topo = Topology()
+    topo.add_switch(0)
+    for i in range(n_hosts):
+        topo.add_host(i, switch(0))
+    return topo, UpDownRouter(topo)
+
+
+@pytest.fixture(scope="module")
+def star_fabric():
+    """(topology, router, ordering) of the 12-host star."""
+    topo, router = star(STAR_HOSTS)
+    return topo, router, [host(i) for i in range(STAR_HOSTS)]

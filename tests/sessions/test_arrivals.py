@@ -1,0 +1,83 @@
+"""Arrival generators: determinism, bounds, shape of each process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sessions import (
+    batch_sessions,
+    flash_crowd_sessions,
+    generate_sessions,
+    poisson_sessions,
+)
+
+HOSTS = list(range(16))
+
+
+class TestDeterminism:
+    def test_same_seed_same_sessions(self):
+        kw = dict(count=8, rate=0.05, dests=3, packets=4)
+        assert poisson_sessions(HOSTS, seed=7, **kw) == poisson_sessions(HOSTS, seed=7, **kw)
+
+    def test_different_seeds_differ(self):
+        kw = dict(count=8, rate=0.05, dests=3, packets=4)
+        assert poisson_sessions(HOSTS, seed=1, **kw) != poisson_sessions(HOSTS, seed=2, **kw)
+
+    def test_kinds_use_independent_streams(self):
+        a = batch_sessions(HOSTS, count=4, dests=3, packets=2, seed=5)
+        b = flash_crowd_sessions(HOSTS, count=4, max_dests=3, packets=2, seed=5)
+        assert [s.destinations for s in a] != [s.destinations for s in b]
+
+
+class TestShapes:
+    def test_poisson_arrivals_strictly_increase(self):
+        sessions = poisson_sessions(HOSTS, count=10, rate=0.1, dests=2, packets=1, seed=0)
+        times = [s.arrival_time for s in sessions]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_batch_all_arrive_together_by_default(self):
+        sessions = batch_sessions(HOSTS, count=5, dests=2, packets=1, seed=0)
+        assert {s.arrival_time for s in sessions} == {0.0}
+
+    def test_batch_spacing_staggers(self):
+        sessions = batch_sessions(HOSTS, count=4, dests=2, packets=1, seed=0, spacing=10.0)
+        assert [s.arrival_time for s in sessions] == [0.0, 10.0, 20.0, 30.0]
+
+    def test_flash_crowd_fits_window_and_bounds(self):
+        sessions = flash_crowd_sessions(
+            HOSTS, count=20, max_dests=7, packets=2, seed=3, window=25.0
+        )
+        assert all(0.0 <= s.arrival_time <= 25.0 for s in sessions)
+        assert all(1 <= len(s.destinations) <= 7 for s in sessions)
+        # Zipf over sizes: small groups must dominate a 20-draw sample.
+        small = sum(1 for s in sessions if len(s.destinations) <= 3)
+        assert small > len(sessions) / 2
+
+    def test_ids_are_dense_and_ordered(self):
+        sessions = flash_crowd_sessions(
+            HOSTS, count=6, max_dests=4, packets=1, seed=0, window=10.0
+        )
+        assert [s.session_id for s in sessions] == list(range(6))
+
+    def test_sources_never_in_destinations(self):
+        for kind, kw in (
+            ("poisson", dict(count=12, rate=0.1, dests=5, packets=1)),
+            ("batch", dict(count=12, dests=5, packets=1)),
+            ("flash_crowd", dict(count=12, max_dests=5, packets=1, window=5.0)),
+        ):
+            for s in generate_sessions(kind, HOSTS, seed=9, **kw):
+                assert s.source not in s.destinations
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            generate_sessions("bursty", HOSTS, count=1, dests=1, packets=1, seed=0)
+
+    def test_bad_rate_window_dests_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_sessions(HOSTS, count=1, rate=0.0, dests=1, packets=1, seed=0)
+        with pytest.raises(ValueError, match="window"):
+            flash_crowd_sessions(HOSTS, count=1, max_dests=1, packets=1, seed=0, window=-1.0)
+        with pytest.raises(ValueError, match="dests"):
+            batch_sessions(HOSTS, count=1, dests=len(HOSTS), packets=1, seed=0)

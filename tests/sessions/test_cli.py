@@ -1,0 +1,71 @@
+"""The ``sessions`` CLI subcommand: smoke, sweep output, trace, stats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+SWEEP_ARGS = (
+    "sessions", "--schedulers", "fifo,cda", "--loads", "2.0",
+    "--runs", "1", "--count", "4", "--dests", "5", "--bytes", "128",
+)
+
+
+class TestSmoke:
+    def test_smoke_prints_table_and_ok(self, capsys):
+        out = run_cli(capsys, "sessions", "--smoke")
+        assert "concurrent sessions" in out
+        assert "sessions smoke OK" in out
+        assert "fifo" in out and "cda" in out
+
+
+class TestSweep:
+    def test_writes_records_with_manifest(self, capsys, tmp_path):
+        out_path = tmp_path / "sessions.json"
+        out = run_cli(capsys, *SWEEP_ARGS, "--out", str(out_path))
+        assert f"wrote {out_path}" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["version"] == 1
+        assert payload["manifest"]["command"] == "sessions"
+        records = payload["records"]
+        assert {r["scheduler"] for r in records} == {"fifo", "cda"}
+        assert all(r["completed"] == 4 for r in records)
+
+    def test_trace_out_names_session_tracks(self, capsys, tmp_path):
+        trace_path = tmp_path / "sessions_trace.json"
+        out = run_cli(capsys, *SWEEP_ARGS, "--trace-out", str(trace_path))
+        assert f"wrote {trace_path}" in out
+        doc = json.loads(trace_path.read_text())
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(name.startswith("session ") for name in names)
+
+    def test_stats_snapshot_includes_sessions_provider(self, capsys):
+        out = run_cli(capsys, "sessions", "--smoke", "--stats")
+        assert '"sessions"' in out
+        assert '"sessions_completed"' in out
+
+
+class TestValidation:
+    def test_unknown_scheduler_rejected(self, capsys):
+        assert main(["sessions", "--schedulers", "edf"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scheduler" in err
+
+    def test_bad_load_rejected(self, capsys):
+        assert main(["sessions", "--loads", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--loads" in err

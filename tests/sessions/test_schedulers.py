@@ -1,0 +1,93 @@
+"""Scheduler policies: pick order, registry, and fabric policy wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_kbinomial_tree
+from repro.sessions import (
+    SCHEDULERS,
+    CongestionDilationScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    Session,
+    SessionPlan,
+    ShortestSessionFirst,
+    make_scheduler,
+)
+
+
+def plan_of(sid, *, arrival=0.0, dests=2, m=1, links=(), dilation=1):
+    session = Session(
+        source=100 + sid,
+        destinations=tuple(range(200 + 10 * sid, 200 + 10 * sid + dests)),
+        num_packets=m,
+        arrival_time=arrival,
+        session_id=sid,
+    )
+    tree = build_kbinomial_tree([session.source, *session.destinations], 2)
+    return SessionPlan(
+        session=session, tree=tree, k=2, links=frozenset(links), dilation=dilation
+    )
+
+
+class TestFifo:
+    def test_picks_earliest_arrival(self):
+        ready = [plan_of(0, arrival=5.0), plan_of(1, arrival=2.0)]
+        assert FifoScheduler().pick(ready, [], {}) is ready[1]
+
+    def test_ties_break_on_session_id(self):
+        ready = [plan_of(3, arrival=1.0), plan_of(1, arrival=1.0)]
+        assert FifoScheduler().pick(ready, [], {}) is ready[1]
+
+
+class TestRoundRobin:
+    def test_admission_order_matches_fifo(self):
+        ready = [plan_of(0, arrival=9.0), plan_of(1, arrival=3.0)]
+        assert RoundRobinScheduler().pick(ready, [], {}) is ready[1]
+
+    def test_requests_round_robin_send_policy(self):
+        assert RoundRobinScheduler.send_policy == "round_robin"
+        assert FifoScheduler.send_policy == "fifo"
+
+
+class TestShortestSessionFirst:
+    def test_least_work_first(self):
+        ready = [plan_of(0, dests=5, m=4), plan_of(1, dests=2, m=1)]
+        assert ShortestSessionFirst().pick(ready, [], {}) is ready[1]
+
+    def test_work_ties_fall_back_to_arrival(self):
+        ready = [plan_of(0, arrival=8.0, dests=2, m=2), plan_of(1, arrival=1.0, dests=2, m=2)]
+        assert ShortestSessionFirst().pick(ready, [], {}) is ready[1]
+
+
+class TestCongestionDilationAware:
+    def test_prefers_least_link_overlap(self):
+        hot = plan_of(0, links=("a", "b"))
+        cold = plan_of(1, links=("c", "d"))
+        load = {"a": 2, "b": 1}
+        assert CongestionDilationScheduler().pick([hot, cold], [], load) is cold
+
+    def test_overlap_ties_break_on_dilation_then_work(self):
+        shallow = plan_of(0, links=("x",), dilation=2, dests=4, m=2)
+        deep = plan_of(1, links=("y",), dilation=6, dests=2, m=1)
+        assert CongestionDilationScheduler().pick([shallow, deep], [], {}) is shallow
+        lean = plan_of(2, links=("x",), dilation=2, dests=2, m=1)
+        fat = plan_of(3, links=("y",), dilation=2, dests=4, m=2)
+        assert CongestionDilationScheduler().pick([fat, lean], [], {}) is lean
+
+
+class TestRegistry:
+    def test_registry_names_match_classes(self):
+        assert set(SCHEDULERS) == {"fifo", "rr", "sjf", "cda"}
+        for name, cls in SCHEDULERS.items():
+            assert cls.name == name
+
+    def test_make_scheduler_from_name_and_instance(self):
+        assert isinstance(make_scheduler("sjf"), ShortestSessionFirst)
+        instance = CongestionDilationScheduler()
+        assert make_scheduler(instance) is instance
+
+    def test_make_scheduler_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("priority")

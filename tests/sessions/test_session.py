@@ -1,0 +1,60 @@
+"""Session/result dataclasses: validation, derived fields, quantiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sessions import Session, nearest_rank
+
+
+class TestSessionValidation:
+    def test_basic_session(self):
+        s = Session(source=0, destinations=(1, 2, 3), num_packets=4, arrival_time=7.5)
+        assert s.n == 4
+        assert s.work == 12
+        assert s.sort_key == (7.5, 0)
+
+    def test_rejects_empty_destinations(self):
+        with pytest.raises(ValueError, match="at least one destination"):
+            Session(source=0, destinations=(), num_packets=1)
+
+    def test_rejects_duplicate_destinations(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Session(source=0, destinations=(1, 1), num_packets=1)
+
+    def test_rejects_source_in_destinations(self):
+        with pytest.raises(ValueError, match="cannot be a destination"):
+            Session(source=1, destinations=(1, 2), num_packets=1)
+
+    def test_rejects_bad_packets_arrival_k(self):
+        with pytest.raises(ValueError, match="num_packets"):
+            Session(source=0, destinations=(1,), num_packets=0)
+        with pytest.raises(ValueError, match="arrival_time"):
+            Session(source=0, destinations=(1,), num_packets=1, arrival_time=-1.0)
+        with pytest.raises(ValueError, match="k must be"):
+            Session(source=0, destinations=(1,), num_packets=1, k=0)
+
+    def test_list_destinations_normalized_to_tuple(self):
+        s = Session(source=0, destinations=[1, 2], num_packets=1)
+        assert s.destinations == (1, 2)
+
+
+class TestNearestRank:
+    def test_median_of_odd_list_is_middle(self):
+        assert nearest_rank([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_always_returns_a_member(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        for q in (0.01, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0):
+            assert nearest_rank(values, q) in values
+
+    def test_p99_of_small_sample_is_max(self):
+        assert nearest_rank([5.0, 1.0, 9.0], 0.99) == 9.0
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)

@@ -1,0 +1,216 @@
+"""SessionSimulator end to end: contention, admission, metrics, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.network import host
+from repro.obs import GLOBAL_METRICS, Tracer
+from repro.sessions import (
+    SESSION_METRICS,
+    Session,
+    SessionSimulator,
+)
+
+from .conftest import STEP_PARAMS
+
+
+def sim_of(star_fabric, **kwargs):
+    topo, router, ordering = star_fabric
+    kwargs.setdefault("params", STEP_PARAMS)
+    return SessionSimulator(topo, router, ordering, **kwargs)
+
+
+def three_sessions():
+    return [
+        Session(source=host(0), destinations=(host(1), host(2), host(3),), num_packets=2, arrival_time=0.0, session_id=0),
+        Session(source=host(4), destinations=(host(5), host(6),), num_packets=2, arrival_time=1.0, session_id=1),
+        Session(source=host(7), destinations=(host(8), host(9),), num_packets=1, arrival_time=2.0, session_id=2),
+    ]
+
+
+class TestBasicRuns:
+    def test_all_sessions_complete(self, star_fabric):
+        result = sim_of(star_fabric).run_sessions(three_sessions())
+        assert len(result.results) == 3
+        for r in result.results:
+            assert r.latency > 0
+            assert r.admitted_at >= r.session.arrival_time
+            assert r.queueing_delay >= 0.0
+
+    def test_results_in_canonical_fifo_order(self, star_fabric):
+        shuffled = list(reversed(three_sessions()))
+        result = sim_of(star_fabric).run_sessions(shuffled)
+        assert [r.session.session_id for r in result.results] == [0, 1, 2]
+
+    def test_unbounded_admission_admits_on_arrival(self, star_fabric):
+        result = sim_of(star_fabric, max_active=None).run_sessions(three_sessions())
+        for r in result.results:
+            assert r.admitted_at == r.session.arrival_time
+            assert r.queueing_delay == 0.0
+
+    def test_max_active_one_serializes(self, star_fabric):
+        sim = sim_of(star_fabric, max_active=1)
+        sim.run_sessions(three_sessions())
+        log = sim.last_arbiter.log
+        active = 0
+        for _, kind, _sid in log:
+            if kind == "admit":
+                active += 1
+                assert active <= 1
+            elif kind == "complete":
+                active -= 1
+
+    def test_work_conservation_log_is_clean(self, star_fabric):
+        for max_active in (1, 2, None):
+            sim = sim_of(star_fabric, max_active=max_active)
+            sim.run_sessions(three_sessions())
+            assert sim.last_arbiter.work_conservation_violations() == []
+
+    def test_per_session_k_override_respected(self, star_fabric):
+        sim = sim_of(star_fabric)
+        session = Session(source=host(0), destinations=(host(1), host(2), host(3), host(4),), num_packets=1, k=1)
+        plan = sim.plan_session(session)
+        assert plan.k == 1
+        assert plan.tree.root_fanout == 1
+
+    def test_makespan_spans_first_arrival_to_last_completion(self, star_fabric):
+        result = sim_of(star_fabric).run_sessions(three_sessions())
+        last = max(r.result.completion_time for r in result.results)
+        assert result.makespan == pytest.approx(last + STEP_PARAMS.t_r - 0.0)
+
+
+class TestContention:
+    def test_two_sessions_on_contended_source_slow_down(self, star_fabric):
+        """Acceptance: sharing a link costs vs two isolated runs."""
+        sessions = [
+            Session(source=host(0), destinations=(host(1), host(2), host(3), host(4),), num_packets=4, session_id=0),
+            Session(source=host(0), destinations=(host(5), host(6), host(7), host(8),), num_packets=4, session_id=1),
+        ]
+        result = sim_of(star_fabric, max_active=None).run_sessions(
+            sessions, measure_isolated=True
+        )
+        # Both start at t=0 from the same source NI: its single send
+        # engine serializes them, so at least one must finish later
+        # than it would alone — measurably, not marginally.
+        assert result.max_slowdown > 1.2
+        for r in result.results:
+            assert r.latency >= r.isolated_latency - 1e-9
+
+    def test_disjoint_sessions_on_star_do_not_interfere(self, star_fabric):
+        sessions = [
+            Session(source=host(0), destinations=(host(1), host(2),), num_packets=2, session_id=0),
+            Session(source=host(3), destinations=(host(4), host(5),), num_packets=2, session_id=1),
+        ]
+        result = sim_of(star_fabric, max_active=None).run_sessions(
+            sessions, measure_isolated=True
+        )
+        # Star routes of disjoint host pairs share no channel: isolated
+        # and concurrent latencies must agree exactly.
+        for r in result.results:
+            assert r.latency == r.isolated_latency
+
+    def test_queueing_delay_appears_under_admission_cap(self, star_fabric):
+        sessions = [
+            Session(source=host(0), destinations=(host(1), host(2), host(3),), num_packets=4, session_id=0),
+            Session(source=host(4), destinations=(host(5), host(6), host(7),), num_packets=4, session_id=1),
+            Session(source=host(8), destinations=(host(9), host(10),), num_packets=4, session_id=2),
+        ]
+        result = sim_of(star_fabric, max_active=1).run_sessions(sessions)
+        delays = [r.queueing_delay for r in result.results]
+        assert delays[0] == 0.0
+        assert delays[1] > 0.0 and delays[2] > delays[1]
+
+    def test_stall_fault_slows_sessions_but_completes(self, star_fabric):
+        sessions = three_sessions()
+        clean = sim_of(star_fabric).run_sessions(sessions)
+        schedule = FaultSchedule((
+            FaultEvent(time=1.0, kind="ni_stall", target=host(0), duration=20.0),
+        ))
+        faulty = sim_of(star_fabric, schedule=schedule).run_sessions(sessions)
+        assert len(faulty.results) == 3
+        assert faulty.results[0].latency > clean.results[0].latency
+
+    def test_time_limit_guards_against_livelock(self, star_fabric):
+        with pytest.raises(RuntimeError, match="time_limit"):
+            sim_of(star_fabric).run_sessions(three_sessions(), time_limit=0.5)
+
+
+class TestValidation:
+    def test_rejects_empty_and_duplicate_ids(self, star_fabric):
+        sim = sim_of(star_fabric)
+        with pytest.raises(ValueError, match="at least one session"):
+            sim.run_sessions([])
+        twin = Session(source=host(0), destinations=(host(1),), num_packets=1, session_id=5)
+        other = Session(source=host(2), destinations=(host(3),), num_packets=1, session_id=5)
+        with pytest.raises(ValueError, match="duplicate session ids"):
+            sim.run_sessions([twin, other])
+
+    def test_rejects_bad_max_active_and_scheduler(self, star_fabric):
+        topo, router, ordering = star_fabric
+        with pytest.raises(ValueError, match="max_active"):
+            SessionSimulator(topo, router, ordering, max_active=0)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SessionSimulator(topo, router, ordering, scheduler="edf")
+
+    def test_rejects_foreign_ordering_node(self, star_fabric):
+        topo, router, _ = star_fabric
+        with pytest.raises(ValueError, match="not a host"):
+            SessionSimulator(topo, router, ["nope"])
+
+
+class TestObservability:
+    def test_session_metrics_counters_and_gauges(self, star_fabric):
+        SESSION_METRICS.reset()
+        sim_of(star_fabric).run_sessions(three_sessions())
+        snap = GLOBAL_METRICS.snapshot()["sessions"]
+        assert snap["sessions_planned"] == 3
+        assert snap["sessions_admitted"] == 3
+        assert snap["sessions_completed"] == 3
+        assert snap["runs"] == 1
+        assert snap["sessions"] == 3.0
+        for key in ("mean_latency", "p50_latency", "p95_latency", "p99_latency",
+                    "mean_queueing", "makespan", "peak_link_sharing"):
+            assert key in snap
+
+    def test_metrics_reset_restores_zero(self, star_fabric):
+        sim_of(star_fabric).run_sessions(three_sessions())
+        SESSION_METRICS.reset()
+        snap = SESSION_METRICS.snapshot()
+        assert snap["runs"] == 0
+        assert "mean_latency" not in snap
+
+    def test_each_session_gets_named_trace_track(self, star_fabric):
+        tracer = Tracer()
+        sim_of(star_fabric, tracer=tracer).run_sessions(three_sessions())
+        thread_names = {
+            e.args["name"]
+            for e in tracer.events
+            if e.ph == "M" and e.name == "thread_name"
+        }
+        assert {"session 0", "session 1", "session 2"} <= thread_names
+
+    def test_queued_span_emitted_for_delayed_admissions(self, star_fabric):
+        tracer = Tracer()
+        sessions = [
+            Session(source=host(0), destinations=(host(1), host(2), host(3),), num_packets=4, session_id=0),
+            Session(source=host(4), destinations=(host(5), host(6),), num_packets=2, session_id=1),
+        ]
+        sim_of(star_fabric, max_active=1, tracer=tracer).run_sessions(sessions)
+        queued = [e for e in tracer.events if e.name == "queued"]
+        assert len(queued) == 1
+
+
+class TestSummary:
+    def test_summary_is_flat_and_json_safe(self, star_fabric):
+        import json
+
+        result = sim_of(star_fabric).run_sessions(
+            three_sessions(), measure_isolated=True
+        )
+        summary = result.summary()
+        json.dumps(summary)
+        assert summary["sessions"] == 3.0
+        assert summary["mean_slowdown"] >= 1.0
+        assert summary["p99_latency"] >= summary["p50_latency"]

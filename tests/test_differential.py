@@ -302,3 +302,108 @@ def test_surface_plan_bit_equal_across_modes(params):
             assert installed_surface() is not None
         clear_caches()
         assert fast_result.to_dict() == scalar_result.to_dict(), (n, m)
+
+
+# ---------------------------------------------------------------------------
+# Third differential axis: a single session through SessionSimulator
+# must be *bit-identical* to a bare MulticastSimulator run.  The
+# session layer adds an arbiter, a delivery listener, and per-session
+# planning — none of which may perturb simulated time when there is
+# nothing to contend with.
+# ---------------------------------------------------------------------------
+
+
+def _result_fields(result):
+    """All MulticastResult fields except the auto-numbered msg_id.
+
+    ``message.destinations`` is compared as a set: the solo simulator
+    lists destinations in chain order, the session in declared order.
+    """
+    return (
+        result.latency,
+        result.completion_time,
+        result.packet_completion,
+        result.destination_completion,
+        result.peak_buffers,
+        result.blocked_time,
+        result.message.source,
+        frozenset(result.message.destinations),
+        result.message.num_packets,
+    )
+
+
+@pytest.mark.parametrize("surface", [False, True], ids=["scalar", "surface"])
+@pytest.mark.parametrize("scheduler", ["fifo", "rr"])
+@pytest.mark.parametrize("n,m", [(4, 1), (9, 4), (16, 8)])
+def test_single_session_bit_equal_to_simulator(surface, scheduler, n, m):
+    """Degenerate one-session case == MulticastSimulator, bit for bit."""
+    from repro.mcast.orderings import chain_for
+    from repro.sessions import SCHEDULERS, Session, SessionSimulator
+
+    ordering = [host(i) for i in range(MAX_NODES)]
+    source, dests = ordering[0], tuple(ordering[1:n])
+    with surface_scope(surface):
+        clear_caches()
+        chain = chain_for(source, list(dests), ordering)
+        k = optimal_k(len(chain), m)
+        tree = build_kbinomial_tree(chain, k)
+        send_policy = SCHEDULERS[scheduler].send_policy
+        solo = MulticastSimulator(
+            _TOPO, _ROUTER, params=STEP_PARAMS, send_policy=send_policy
+        ).run(tree, m)
+
+        sim = SessionSimulator(
+            _TOPO, _ROUTER, ordering, params=STEP_PARAMS, scheduler=scheduler
+        )
+        session = Session(source=source, destinations=dests, num_packets=m)
+        result = sim.run_sessions([session])
+    clear_caches()
+
+    assert _result_fields(result.results[0].result) == _result_fields(solo)
+    assert result.results[0].latency == solo.latency
+    assert result.results[0].queueing_delay == 0.0
+
+
+@pytest.mark.parametrize("surface", [False, True], ids=["scalar", "surface"])
+def test_single_session_bit_equal_on_paper_testbed(surface):
+    """Same degenerate-case guarantee on the paper's irregular fabric."""
+    from repro.analysis.experiments import _testbed
+    from repro.mcast.orderings import chain_for
+    from repro.sessions import Session, SessionSimulator
+
+    topology, router, ordering = _testbed(1997)
+    source, dests = ordering[0], tuple(ordering[1:20])
+    m = 8
+    with surface_scope(surface):
+        clear_caches()
+        chain = chain_for(source, list(dests), ordering)
+        tree = build_kbinomial_tree(chain, optimal_k(len(chain), m))
+        solo = MulticastSimulator(topology, router).run(tree, m)
+        sim = SessionSimulator(topology, router, ordering)
+        result = sim.run_sessions(
+            [Session(source=source, destinations=dests, num_packets=m)]
+        )
+    clear_caches()
+
+    assert _result_fields(result.results[0].result) == _result_fields(solo)
+
+
+def test_arrival_shift_translates_completion_exactly():
+    """On an idle fabric a session arriving at A completes at C + A."""
+    from repro.sessions import Session, SessionSimulator
+
+    ordering = [host(i) for i in range(MAX_NODES)]
+    source, dests = ordering[0], tuple(ordering[1:9])
+    shift = 17.0
+
+    def run_at(arrival):
+        sim = SessionSimulator(_TOPO, _ROUTER, ordering, params=STEP_PARAMS)
+        session = Session(
+            source=source, destinations=dests, num_packets=4, arrival_time=arrival
+        )
+        return sim.run_sessions([session]).results[0]
+
+    base, shifted = run_at(0.0), run_at(shift)
+    assert shifted.result.completion_time == base.result.completion_time + shift
+    assert shifted.latency == base.latency
+    assert shifted.service_latency == base.service_latency

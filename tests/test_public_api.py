@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.obs",
     "repro.faults",
     "repro.durable",
+    "repro.sessions",
 ]
 
 
