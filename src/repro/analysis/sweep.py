@@ -380,6 +380,7 @@ def run_sweep(
     retry_policy=None,
     on_chunk_failure: str = "raise",
     surface=None,
+    profiler=None,
 ) -> List[SweepPoint]:
     """Evaluate ``measure(**point)`` over the cross product of ``grids``.
 
@@ -443,6 +444,12 @@ def run_sweep(
         fork, so parallel sweeps inherit it (each worker grows its own
         surface on first miss).  Results are bit-equal either way —
         the differential suite pins it.
+    profiler:
+        A :class:`repro.obs.SamplingProfiler` running for the duration
+        of the sweep (started here, stopped on the way out, even on
+        failure).  With ``workers == 1`` it samples the measure calls
+        themselves; parallel sweeps profile the driver — submission,
+        pickling, merge — which is where the driver-side time goes.
 
     Returns
     -------
@@ -450,6 +457,28 @@ def run_sweep(
         One record per grid point, in grid order, independent of
         ``workers``/``chunk_size``/``store``/``checkpoint``.
     """
+    if profiler is not None and profiler.enabled:
+        # Re-enter with the profiler running (the surface-scope idiom):
+        # start/stop bracket the whole sweep, exceptions included.
+        profiler.start()
+        try:
+            return run_sweep(
+                measure,
+                grids,
+                workers=workers,
+                chunk_size=chunk_size,
+                progress=progress,
+                store=store,
+                tracer=tracer,
+                checkpoint=checkpoint,
+                chunk_timeout=chunk_timeout,
+                chunk_retries=chunk_retries,
+                retry_policy=retry_policy,
+                on_chunk_failure=on_chunk_failure,
+                surface=surface,
+            )
+        finally:
+            profiler.stop()
     if surface is not None:
         # Re-enter with the fast path selected (and restored on exit);
         # the recursion carries every other argument unchanged.

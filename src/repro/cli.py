@@ -22,12 +22,18 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast decoster --bytes 4096
     repro-mcast serve --port 7017 --workers 2       # plan service
     repro-mcast plan -n 64 -m 8 [--connect HOST:PORT] [--schedule]
+    repro-mcast metrics [--connect HOST:PORT] [--check]  # Prometheus text
+    repro-mcast bench run --out BENCH_trajectory.json    # perf gates
+    repro-mcast bench check --baseline BENCH_baseline.json [--report-only]
 
 Observability flags (see docs/ARCHITECTURE.md "Observability"):
 ``--trace-out PATH`` on ``simulate``/``fig13*``/``fig14*``/``serve``
 writes a Chrome trace-event JSON (open in https://ui.perfetto.dev);
 ``--stats`` prints the unified metrics snapshot (service counters,
-cache hit rates, sim buffer gauges) after the command runs.
+cache hit rates, sim buffer gauges) after the command runs;
+``--profile-out PATH [--profile-hz N]`` on the sweep/serve/sessions
+commands samples the command's wall-clock stacks (``.json`` writes a
+speedscope profile, any other suffix collapsed flamegraph stacks).
 """
 
 from __future__ import annotations
@@ -70,9 +76,12 @@ __all__ = ["main"]
 _POSITIVE_INT_ARGS = (
     "workers", "topologies", "dest_sets", "runs", "dests", "bytes",
     "max_m", "max_inflight", "max_batch", "max_n", "ports",
-    "n_max", "m_max", "count", "max_active",
+    "n_max", "m_max", "count", "max_active", "repeats",
 )
-_POSITIVE_NUMBER_ARGS = ("timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq")
+_POSITIVE_NUMBER_ARGS = (
+    "timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq",
+    "profile_hz", "threshold",
+)
 
 
 def _validate_args(args) -> None:
@@ -150,6 +159,29 @@ def _report_checkpoint(args) -> None:
         f"chunk(s) ({snap['points_resumed']} points), journaled "
         f"{snap['chunks_journaled']} new"
     )
+
+
+def _maybe_profiler(args):
+    """A sampling profiler when ``--profile-out`` was given, else None."""
+    if not getattr(args, "profile_out", None):
+        return None
+    from .obs import SamplingProfiler
+
+    return SamplingProfiler(hz=getattr(args, "profile_hz", None) or 100.0)
+
+
+def _finish_profile(args, profiler) -> None:
+    """Write the captured profile (format keyed off the suffix)."""
+    if profiler is None:
+        return
+    snap = profiler.snapshot()
+    if args.profile_out.endswith(".json"):
+        written = profiler.write_speedscope(
+            args.profile_out, name=f"repro-mcast {args.command}"
+        )
+    else:
+        written = profiler.write_collapsed(args.profile_out)
+    print(f"wrote {written} ({snap['samples']} samples @ {snap['hz']:.0f} Hz)")
 
 
 def _maybe_stats(args) -> None:
@@ -676,12 +708,124 @@ def _cmd_plan(args) -> None:
             )
 
 
+def _cmd_metrics(args) -> None:
+    """Prometheus exposition: render locally or scrape a live server."""
+    if args.connect:
+        from .service import metrics_remote
+
+        host, _, port = args.connect.rpartition(":")
+        text = metrics_remote(host or "127.0.0.1", int(port))
+    else:
+        from .obs import render_prometheus
+
+        text = render_prometheus()
+    if args.check:
+        from .obs import parse_prometheus
+
+        families = parse_prometheus(text)
+        samples = sum(len(f.samples) for f in families.values())
+        print(f"exposition OK: {len(families)} families, {samples} samples")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    elif not args.check:
+        print(text, end="")
+
+
+def _gate_ids(args):
+    """The validated gate-id tuple from ``--gates``, or None for all."""
+    if not getattr(args, "gates", None):
+        return None
+    from .obs.regress import GATES
+
+    ids = tuple(g for g in args.gates.split(",") if g)
+    if not ids:
+        raise ValidationError("--gates must name at least one gate")
+    for gate_id in ids:
+        if gate_id not in GATES:
+            raise ValidationError(
+                f"unknown gate {gate_id!r}; choose from {sorted(GATES)}"
+            )
+    return ids
+
+
+def _cmd_bench_run(args) -> None:
+    """Run the perf gates, print medians, optionally record the run."""
+    from .obs import record_trajectory, run_gates
+
+    entries = run_gates(
+        _gate_ids(args), repeats=args.repeats, warmup=args.warmup, progress=print
+    )
+    rows = [[e["id"], e["name"], round(e["median"] * 1e3, 2)] for e in entries]
+    print(render_table(["gate", "workload", "median ms"], rows, title="bench gates"))
+    if args.out:
+        record_trajectory(entries, args.out, extra={"command": "bench run"})
+        print(f"recorded run in {args.out}")
+
+
+def _cmd_bench_check(args) -> int:
+    """Compare fresh (or recorded) medians against the baseline."""
+    from .obs import compare, record_trajectory, run_gates
+    from .obs.regress import format_report, latest_entries, load_trajectory
+
+    baseline = latest_entries(load_trajectory(args.baseline))
+    if not baseline:
+        raise ValidationError(
+            f"baseline {args.baseline!r} is missing or empty; seed it with "
+            "`repro-mcast bench run --out BENCH_baseline.json`"
+        )
+    if args.trajectory:
+        current = latest_entries(load_trajectory(args.trajectory))
+        if not current:
+            raise ValidationError(f"trajectory {args.trajectory!r} has no runs")
+    else:
+        current = run_gates(
+            _gate_ids(args), repeats=args.repeats, warmup=args.warmup, progress=print
+        )
+        if args.record:
+            record_trajectory(current, args.record, extra={"command": "bench check"})
+            print(f"recorded run in {args.record}")
+    report = compare(current, baseline, threshold=args.threshold)
+    print(format_report(report))
+    if not report["ok"]:
+        if not args.report_only:
+            return 1
+        print("report-only mode: regression reported, run not failed")
+    return 0
+
+
+def _cmd_bench_record(args) -> None:
+    """Ingest a pytest-benchmark JSON artifact into a trajectory."""
+    from .obs import record_trajectory
+    from .obs.regress import ingest_bench_json
+
+    entries = ingest_bench_json(args.source)
+    if not entries:
+        raise ValidationError(f"{args.source!r} holds no benchmark medians")
+    record_trajectory(
+        entries, args.out, extra={"command": "bench record", "source": args.source}
+    )
+    print(f"recorded {len(entries)} entries in {args.out}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mcast",
         description="Reproduce Kesavan & Panda (ICPP 1997) figures and run multicast sims.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_profile_options(p):
+        p.add_argument(
+            "--profile-out", dest="profile_out", default=None, metavar="PATH",
+            help="sample this command's wall-clock stacks; .json writes a "
+                 "speedscope profile, any other suffix collapsed stacks",
+        )
+        p.add_argument(
+            "--profile-hz", dest="profile_hz", type=float, default=100.0,
+            help="sampling rate for --profile-out (default 100)",
+        )
 
     def add_sim_options(p):
         p.add_argument("--full", action="store_true", help="paper's 30x10 protocol")
@@ -706,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--resume", action="store_true",
             help="require the --checkpoint file to already exist",
         )
+        add_profile_options(p)
 
     surface_flag_help = "serve lookups from the vectorized analytic surface (REPRO_SURFACE)"
 
@@ -827,6 +972,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print the unified metrics snapshot after the sweep",
     )
+    add_profile_options(p)
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
@@ -881,6 +1027,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print the unified metrics snapshot after the sweep",
     )
+    add_profile_options(p)
     p.set_defaults(func=_cmd_sessions)
 
     p = sub.add_parser("decoster", help="compare with De Coster [2] host packetization")
@@ -917,7 +1064,82 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print the unified metrics snapshot after shutdown",
     )
+    add_profile_options(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "metrics", help="Prometheus text exposition of the unified metrics"
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="scrape a live plan server instead of rendering locally",
+    )
+    p.add_argument("--out", default=None, metavar="PATH", help="write instead of printing")
+    p.add_argument(
+        "--check", action="store_true",
+        help="strict-parse the exposition and print a summary instead of the text",
+    )
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "bench", help="perf gates: record a bench trajectory, flag regressions"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def add_gate_options(bp):
+        bp.add_argument(
+            "--gates", default=None,
+            help="comma list of gate ids, e.g. A15,A19 (default: all)",
+        )
+        bp.add_argument(
+            "--repeats", type=int, default=3,
+            help="timed runs per gate; the median is compared",
+        )
+        bp.add_argument("--warmup", type=int, default=1, help="untimed warmup runs per gate")
+
+    bp = bench_sub.add_parser("run", help="run the gates, print and record medians")
+    add_gate_options(bp)
+    bp.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="append the run (manifest-stamped) to this trajectory file",
+    )
+    bp.set_defaults(func=_cmd_bench_run)
+
+    bp = bench_sub.add_parser(
+        "check", help="compare medians against the committed baseline"
+    )
+    add_gate_options(bp)
+    bp.add_argument(
+        "--baseline", default="BENCH_baseline.json", metavar="PATH",
+        help="baseline trajectory (default BENCH_baseline.json)",
+    )
+    bp.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="compare this trajectory's latest run instead of running the gates",
+    )
+    bp.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="median ratio above 1+threshold is a regression (default 0.15)",
+    )
+    bp.add_argument(
+        "--report-only", dest="report_only", action="store_true",
+        help="print the report but exit zero even on a regression",
+    )
+    bp.add_argument(
+        "--record", default=None, metavar="PATH",
+        help="also append the fresh run to this trajectory file",
+    )
+    bp.set_defaults(func=_cmd_bench_check)
+
+    bp = bench_sub.add_parser(
+        "record", help="ingest a pytest-benchmark JSON artifact into a trajectory"
+    )
+    bp.add_argument(
+        "--from", dest="source", required=True, metavar="BENCH_JSON",
+        help="pytest-benchmark --benchmark-json output",
+    )
+    bp.add_argument("--out", required=True, metavar="PATH", help="trajectory file to append to")
+    bp.set_defaults(func=_cmd_bench_record)
 
     p = sub.add_parser("plan", help="one plan query (local, or --connect to a server)")
     p.add_argument("-n", type=int, required=True, help="multicast set size")
@@ -936,11 +1158,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.tree = int(args.tree)
     try:
         _validate_args(args)
-        args.func(args)
+        profiler = _maybe_profiler(args)
+        if profiler is not None:
+            with profiler:
+                rc = args.func(args)
+            _finish_profile(args, profiler)
+        else:
+            rc = args.func(args)
     except ValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 0
+    return int(rc) if rc else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ simulator (``benchmarks/bench_faults_overhead.py`` enforces it).
 
 from .chaos import (
     SCENARIOS,
+    chaos_alert_log,
     chaos_point,
     chaos_smoke,
     chaos_sweep,
@@ -57,6 +58,7 @@ __all__ = [
     "surviving_chain",
     "unreachable_set",
     "SCENARIOS",
+    "chaos_alert_log",
     "chaos_point",
     "chaos_sweep",
     "load_records",

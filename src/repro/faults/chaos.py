@@ -54,6 +54,7 @@ from .schedule import (
 
 __all__ = [
     "SCENARIOS",
+    "chaos_alert_log",
     "chaos_point",
     "chaos_sweep",
     "chaos_smoke",
@@ -239,6 +240,46 @@ def survival_table(records: Sequence[dict]) -> str:
         rows,
         title="chaos survival: fault scenarios vs the optimal k-binomial plan",
     )
+
+
+def chaos_alert_log(
+    records: Sequence[dict],
+    *,
+    spacing: float = 1.0,
+    threshold: Optional[float] = None,
+) -> dict:
+    """Replay chaos records through the delivery-coverage SLO.
+
+    Each record contributes its destinations as weighted good/bad
+    events (``complete_destinations`` good, ``lost_destinations`` bad)
+    on a synthetic timeline — record ``i`` at ``t = i * spacing``
+    seconds — so the same record list always produces the same alert
+    log (byte-identical replays, like everything else in this
+    harness).  A ``baseline`` run stays silent; the adversarial
+    ``root_child`` crash burns its 1% error budget orders of magnitude
+    too fast and fires.
+
+    Returns ``{"alerts": [...], "slo": <snapshot>, "records": N}``.
+    """
+    from ..obs.slo import SLOSet, default_slos
+
+    specs = [s for s in default_slos() if s.name == "delivery_coverage"]
+    kwargs = {} if threshold is None else {"threshold": threshold}
+    slos = SLOSet(specs, clock=lambda: 0.0, **kwargs)
+    for index, record in enumerate(records):
+        t = index * spacing
+        good = int(record.get("complete_destinations", 0))
+        bad = int(record.get("lost_destinations", 0))
+        if good:
+            slos.record("delivery_coverage", True, weight=good, t=t)
+        if bad:
+            slos.record("delivery_coverage", False, weight=bad, t=t)
+    final_t = (len(records) - 1) * spacing if records else 0.0
+    return {
+        "alerts": slos.alert_dicts(),
+        "slo": slos.snapshot(t=final_t),
+        "records": len(records),
+    }
 
 
 def chaos_smoke(workers: int = 1) -> List[dict]:

@@ -19,6 +19,16 @@ Every layer of the system measures itself through this package:
   version, git SHA, timestamps) attached to sweep stores, benchmark
   JSON, and exported traces so every number is reproducible from its
   artifact.
+* :mod:`repro.obs.profiler` — a sampling wall-clock profiler
+  (collapsed-stack / speedscope export) attachable to the sweep
+  engine, the plan server, and the session simulator, with a
+  :data:`NULL_PROFILER` disabled singleton.
+* :mod:`repro.obs.exposition` — Prometheus text-format rendering of
+  the metrics registry plus the strict parser that gates it.
+* :mod:`repro.obs.slo` — declarative SLOs with fast/slow-window
+  burn-rate alerting and a replayable alert log.
+* :mod:`repro.obs.regress` — benchmark trajectory recording and the
+  paired-median perf-regression gate behind ``repro-mcast bench``.
 
 Tracing is zero-cost when disabled: emission sites guard on
 ``tracer.enabled`` before building any arguments, and the shared
@@ -33,20 +43,37 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .exposition import parse_prometheus, render_prometheus
 from .manifest import git_sha, run_manifest
-from .metrics import GLOBAL_METRICS, MetricsRegistry
+from .metrics import GLOBAL_METRICS, MetricsRegistry, sanitize_metric_name
+from .profiler import NULL_PROFILER, SamplingProfiler
+from .regress import compare, record_trajectory, run_gates
+from .slo import BurnRateTracker, SLOAlert, SLOSet, SLOSpec, default_slos
 from .tracer import NULL_TRACER, Span, TraceEvent, Tracer, Track, wall_clock_us
 
 __all__ = [
+    "BurnRateTracker",
     "GLOBAL_METRICS",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "SLOAlert",
+    "SLOSet",
+    "SLOSpec",
+    "SamplingProfiler",
     "Span",
     "TraceEvent",
     "Tracer",
     "Track",
+    "compare",
+    "default_slos",
     "git_sha",
+    "parse_prometheus",
+    "record_trajectory",
+    "render_prometheus",
+    "run_gates",
     "run_manifest",
+    "sanitize_metric_name",
     "to_chrome",
     "to_jsonl",
     "trace_summary",

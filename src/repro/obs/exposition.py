@@ -1,0 +1,380 @@
+"""Prometheus text-format exposition of the unified metrics registry.
+
+The image deliberately ships no ``prometheus_client``; this module is
+the dependency-free equivalent for the *export* half of the job:
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` into the Prometheus text
+exposition format (version 0.0.4), and :func:`parse_prometheus` is a
+*strict* parser for the same format used by the round-trip tests and
+the CI scrape smoke — it rejects anything a real Prometheus server
+would refuse (bad names, non-cumulative buckets, missing ``+Inf``,
+duplicate series).
+
+Mapping rules
+-------------
+The registry snapshot is a tree of dicts.  Each path from provider to
+numeric leaf becomes one sample whose name is the ``_``-joined,
+:func:`~repro.obs.metrics.sanitize_metric_name`-sanitized path under a
+``repro`` namespace:
+
+* leaves under a ``counters`` dict, and the cache registry's
+  ``hits``/``misses`` leaves, render as **counters** with the
+  conventional ``_total`` suffix;
+* a dict carrying both ``buckets`` and ``count`` keys (the
+  :class:`~repro.service.metrics.LatencyHistogram` snapshot shape)
+  renders as a **histogram** family — cumulative ``_bucket{le=...}``
+  series with explicit bounds, ``_sum``, and ``_count`` — while its
+  derived scalars (mean, quantiles) remain gauges;
+* every other numeric leaf renders as a **gauge**;
+* ``None`` and non-numeric leaves (e.g. provider ``error`` strings)
+  are skipped — the text format has no null.
+
+:func:`flatten_for_exposition` exposes the same mapping as a flat
+``{sample_name_or_(name, le): value}`` dict so tests can assert the
+rendered text round-trips every counter, histogram bucket, and gauge
+without re-implementing the walk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .metrics import GLOBAL_METRICS, sanitize_metric_name
+
+__all__ = [
+    "ExpositionError",
+    "MetricFamily",
+    "flatten_for_exposition",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+#: Default namespace prefixed to every sample name.
+NAMESPACE = "repro"
+
+#: Leaf names that count events monotonically wherever they appear.
+_COUNTER_LEAVES = frozenset({"hits", "misses"})
+
+#: Histogram-snapshot keys folded into the ``_bucket``/``_sum``/``_count``
+#: series instead of being re-emitted as gauges.
+_HISTOGRAM_CONSUMED = frozenset({"buckets", "count", "sum_us"})
+
+SampleKey = Union[str, Tuple[str, str]]
+
+
+class ExpositionError(ValueError):
+    """A document violated the strict Prometheus text-format rules."""
+
+
+class MetricFamily:
+    """One parsed family: its type plus ``(name, labels, value)`` samples."""
+
+    __slots__ = ("name", "type", "help", "samples")
+
+    def __init__(self, name: str, type_: str, help_: Optional[str] = None) -> None:
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricFamily({self.name!r}, {self.type!r}, samples={len(self.samples)})"
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+        return repr(value)
+    return str(value)
+
+
+def _format_le(bound: Optional[float]) -> str:
+    if bound is None:
+        return "+Inf"
+    as_float = float(bound)
+    if as_float == int(as_float):
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _is_histogram_dict(value: Mapping) -> bool:
+    return (
+        isinstance(value.get("buckets"), (list, tuple))
+        and "count" in value
+        and all(
+            isinstance(pair, (list, tuple)) and len(pair) == 2
+            for pair in value["buckets"]
+        )
+    )
+
+
+def _join(path: Tuple[str, ...]) -> str:
+    return "_".join(sanitize_metric_name(part) for part in path)
+
+
+def _walk(
+    path: Tuple[str, ...],
+    value: object,
+    counters: Dict[str, float],
+    gauges: Dict[str, float],
+    histograms: Dict[str, Mapping],
+    in_counters: bool,
+) -> None:
+    if isinstance(value, Mapping):
+        if _is_histogram_dict(value):
+            # LatencyHistogram snapshots are microseconds by contract
+            # (the ``sum_us`` key); the family name carries the unit.
+            histograms[_join(path) + "_us"] = value
+            for leaf, sub in value.items():
+                if leaf in _HISTOGRAM_CONSUMED:
+                    continue
+                if _is_number(sub):
+                    gauges[_join(path + (str(leaf),))] = sub
+            return
+        for leaf, sub in value.items():
+            _walk(
+                path + (str(leaf),),
+                sub,
+                counters,
+                gauges,
+                histograms,
+                in_counters or str(leaf) == "counters",
+            )
+        return
+    if not _is_number(value):
+        return
+    name = _join(path)
+    if in_counters or (path and path[-1] in _COUNTER_LEAVES):
+        counters[name + "_total"] = value
+    else:
+        gauges[name] = value
+
+
+def _classified(
+    snapshot: Mapping[str, Mapping], namespace: str
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Mapping]]:
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Mapping] = {}
+    for provider, tree in snapshot.items():
+        _walk((namespace, str(provider)), tree, counters, gauges, histograms, False)
+    return counters, gauges, histograms
+
+
+def flatten_for_exposition(
+    snapshot: Optional[Mapping[str, Mapping]] = None,
+    *,
+    namespace: str = NAMESPACE,
+) -> Dict[SampleKey, float]:
+    """Every sample :func:`render_prometheus` will emit, as a flat dict.
+
+    Plain samples key on their full name; histogram buckets key on
+    ``(family_name + "_bucket", le_string)``.  ``snapshot`` defaults to
+    a fresh ``GLOBAL_METRICS.snapshot()``.
+    """
+    if snapshot is None:
+        snapshot = GLOBAL_METRICS.snapshot()
+    counters, gauges, histograms = _classified(snapshot, namespace)
+    out: Dict[SampleKey, float] = {}
+    out.update(counters)
+    out.update(gauges)
+    for family, tree in histograms.items():
+        for bound, cumulative in tree["buckets"]:
+            out[(family + "_bucket", _format_le(bound))] = cumulative
+        out[family + "_sum"] = tree.get("sum_us", 0.0)
+        out[family + "_count"] = tree["count"]
+    return out
+
+
+def render_prometheus(
+    snapshot: Optional[Mapping[str, Mapping]] = None,
+    *,
+    namespace: str = NAMESPACE,
+) -> str:
+    """``snapshot`` rendered as a Prometheus text-format document.
+
+    Families come out in sorted name order with ``# HELP`` / ``# TYPE``
+    headers, so identical registry states render byte-identically (the
+    registry's own sorted snapshot plus this sort make the whole
+    pipeline deterministic).  ``snapshot`` defaults to a fresh
+    ``GLOBAL_METRICS.snapshot()``.
+    """
+    if snapshot is None:
+        snapshot = GLOBAL_METRICS.snapshot()
+    counters, gauges, histograms = _classified(snapshot, namespace)
+    lines: List[str] = []
+    families = sorted(
+        [(name, "counter") for name in counters]
+        + [(name, "gauge") for name in gauges]
+        + [(name, "histogram") for name in histograms]
+    )
+    for name, kind in families:
+        lines.append(f"# HELP {name} repro metrics registry sample {name}")
+        lines.append(f"# TYPE {name} {kind}")
+        if kind == "histogram":
+            tree = histograms[name]
+            for bound, cumulative in tree["buckets"]:
+                lines.append(
+                    f'{name}_bucket{{le="{_format_le(bound)}"}} '
+                    f"{_format_value(cumulative)}"
+                )
+            lines.append(f"{name}_sum {_format_value(tree.get('sum_us', 0.0))}")
+            lines.append(f"{name}_count {_format_value(tree['count'])}")
+        elif kind == "counter":
+            lines.append(f"{name} {_format_value(counters[name])}")
+        else:
+            lines.append(f"{name} {_format_value(gauges[name])}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Strict parsing (the round-trip / scrape-smoke half)
+# ---------------------------------------------------------------------------
+
+_VALID_TYPES = frozenset({"counter", "gauge", "histogram", "summary", "untyped"})
+
+
+def _parse_value(token: str, where: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(f"{where}: bad sample value {token!r}") from None
+
+
+def _parse_sample(line: str, lineno: int) -> Tuple[str, Dict[str, str], float]:
+    where = f"line {lineno}"
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        if "}" not in rest:
+            raise ExpositionError(f"{where}: unterminated label set")
+        labels_part, value_part = rest.rsplit("}", 1)
+        labels: Dict[str, str] = {}
+        for piece in filter(None, (p.strip() for p in labels_part.split(","))):
+            if "=" not in piece:
+                raise ExpositionError(f"{where}: bad label {piece!r}")
+            key, raw = piece.split("=", 1)
+            if len(raw) < 2 or raw[0] != '"' or raw[-1] != '"':
+                raise ExpositionError(f"{where}: label value must be quoted: {piece!r}")
+            if key in labels:
+                raise ExpositionError(f"{where}: duplicate label {key!r}")
+            labels[key] = raw[1:-1]
+        value_token = value_part.strip().split()
+    else:
+        parts = line.split()
+        if len(parts) < 2:
+            raise ExpositionError(f"{where}: sample needs a name and a value")
+        name, value_token, labels = parts[0], parts[1:], {}
+    name = name.strip()
+    if not name or sanitize_metric_name(name) != name:
+        raise ExpositionError(f"{where}: invalid metric name {name!r}")
+    if len(value_token) != 1:
+        raise ExpositionError(f"{where}: expected exactly one value, got {value_token!r}")
+    return name, labels, _parse_value(value_token[0], where)
+
+
+def _family_of(sample_name: str, type_: str) -> str:
+    if type_ == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _check_histogram(family: MetricFamily) -> None:
+    buckets: List[Tuple[float, float]] = []
+    count: Optional[float] = None
+    for name, labels, value in family.samples:
+        if name == family.name + "_bucket":
+            if "le" not in labels:
+                raise ExpositionError(f"{family.name}: bucket sample without le label")
+            buckets.append((_parse_value(labels["le"], family.name), value))
+        elif name == family.name + "_count":
+            count = value
+    if not buckets:
+        raise ExpositionError(f"{family.name}: histogram with no buckets")
+    bounds = [b for b, _ in buckets]
+    if bounds != sorted(bounds):
+        raise ExpositionError(f"{family.name}: bucket bounds not increasing")
+    values = [v for _, v in buckets]
+    if any(b > a for a, b in zip(values[1:], values)):
+        raise ExpositionError(f"{family.name}: bucket counts not cumulative")
+    if not math.isinf(bounds[-1]):
+        raise ExpositionError(f"{family.name}: missing +Inf bucket")
+    if count is None:
+        raise ExpositionError(f"{family.name}: histogram without _count")
+    if values[-1] != count:
+        raise ExpositionError(
+            f"{family.name}: +Inf bucket {values[-1]} != _count {count}"
+        )
+
+
+def parse_prometheus(text: str) -> Dict[str, MetricFamily]:
+    """Parse a text-format document, strictly.
+
+    Returns families keyed by family name.  Raises
+    :class:`ExpositionError` on anything out of spec: invalid names,
+    samples before their ``# TYPE``, duplicate series, histogram
+    buckets that are out of order, non-cumulative, or missing the
+    ``+Inf``/``_count`` agreement.  Samples without a preceding
+    ``# TYPE`` are rejected too — this parser exists to *gate* the
+    renderer, not to be forgiving.
+    """
+    families: Dict[str, MetricFamily] = {}
+    pending_help: Dict[str, str] = {}
+    seen_series: set = set()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name, type_ = parts[2], parts[3].strip() if len(parts) > 3 else ""
+                if type_ not in _VALID_TYPES:
+                    raise ExpositionError(f"line {lineno}: unknown type {type_!r}")
+                if name in families:
+                    raise ExpositionError(f"line {lineno}: duplicate TYPE for {name}")
+                families[name] = MetricFamily(name, type_, pending_help.pop(name, None))
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                pending_help[parts[2]] = parts[3] if len(parts) > 3 else ""
+            # Other comments are ignored, as the format requires.
+            continue
+        name, labels, value = _parse_sample(line, lineno)
+        family = None
+        for type_ in ("histogram", "counter"):
+            candidate = _family_of(name, type_)
+            found = families.get(candidate)
+            if found is not None and found.type == type_:
+                family = found
+                break
+        if family is None:
+            family = families.get(name)
+        if family is None:
+            raise ExpositionError(f"line {lineno}: sample {name!r} before its # TYPE")
+        if family.type == "counter" and not name.endswith("_total"):
+            raise ExpositionError(f"line {lineno}: counter {name!r} must end in _total")
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise ExpositionError(f"line {lineno}: duplicate series {series!r}")
+        seen_series.add(series)
+        family.samples.append((name, labels, value))
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+        if not family.samples:
+            raise ExpositionError(f"{family.name}: TYPE declared but no samples")
+    return families

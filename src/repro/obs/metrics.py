@@ -19,12 +19,41 @@ whole snapshot.
 
 from __future__ import annotations
 
+import re
 import threading
 from typing import Callable, Dict, Mapping, Optional
 
 from ..core.cache import cache_stats
 
-__all__ = ["GLOBAL_METRICS", "MetricsRegistry", "cache_snapshot"]
+__all__ = [
+    "GLOBAL_METRICS",
+    "MetricsRegistry",
+    "cache_snapshot",
+    "sanitize_metric_name",
+]
+
+#: The Prometheus metric-name charset (exposition format §data model).
+_PROM_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """``name`` mapped onto the Prometheus charset ``[a-zA-Z_][a-zA-Z0-9_]*``.
+
+    Every invalid character becomes ``_`` and a leading digit gains a
+    ``_`` prefix, so any registered provider or gauge key renders as a
+    legal Prometheus metric name without a second mapping at scrape
+    time.  Raises :class:`ValueError` only for names that cannot be
+    salvaged (empty, or nothing but invalid characters).
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"metric name must be a string, got {name!r}")
+    cleaned = _PROM_BAD_CHARS.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    if not cleaned or not _PROM_NAME_RE.match(cleaned):
+        raise ValueError(f"metric name {name!r} cannot be sanitized to the Prometheus charset")
+    return cleaned
 
 
 def cache_snapshot() -> Dict[str, dict]:
@@ -53,20 +82,30 @@ class MetricsRegistry:
     def __init__(self, baseline: Optional[Mapping[str, Callable[[], dict]]] = None) -> None:
         self._lock = threading.Lock()
         #: Providers restored by :meth:`reset` (the registry's built-ins).
-        self._baseline: Dict[str, Callable[[], dict]] = dict(baseline or {})
+        self._baseline: Dict[str, Callable[[], dict]] = {
+            sanitize_metric_name(name): provider
+            for name, provider in (baseline or {}).items()
+        }
         self._providers: Dict[str, Callable[[], dict]] = dict(self._baseline)
 
     def register(self, name: str, provider: Callable[[], dict]) -> None:
-        """Bind ``name`` to ``provider`` (replacing any previous binding)."""
+        """Bind ``name`` to ``provider`` (replacing any previous binding).
+
+        ``name`` is sanitized to the Prometheus charset at registration
+        (``cache-l2`` registers as ``cache_l2``), so the exposition
+        layer never has to rename a provider at scrape time and
+        last-writer-wins collapses aliases that differ only in invalid
+        characters.
+        """
         if not callable(provider):
             raise TypeError(f"provider for {name!r} must be callable, got {provider!r}")
         with self._lock:
-            self._providers[name] = provider
+            self._providers[sanitize_metric_name(name)] = provider
 
     def unregister(self, name: str) -> None:
         """Drop ``name`` if registered (idempotent)."""
         with self._lock:
-            self._providers.pop(name, None)
+            self._providers.pop(sanitize_metric_name(name), None)
 
     def reset(self) -> None:
         """Restore the baseline providers, dropping everything else.
@@ -79,10 +118,14 @@ class MetricsRegistry:
             self._providers = dict(self._baseline)
 
     def set_gauges(self, name: str, values: Mapping[str, object]) -> None:
-        """Publish a static gauge dict under ``name`` (copied now)."""
-        frozen = dict(values)
+        """Publish a static gauge dict under ``name`` (copied now).
+
+        Gauge keys are sanitized alongside the provider name, so a
+        pushed dict is exposition-ready as-is.
+        """
+        frozen = {sanitize_metric_name(str(key)): value for key, value in values.items()}
         with self._lock:
-            self._providers[name] = frozen.copy
+            self._providers[sanitize_metric_name(name)] = frozen.copy
 
     def names(self) -> tuple:
         """Currently registered provider names, sorted."""
@@ -90,13 +133,19 @@ class MetricsRegistry:
             return tuple(sorted(self._providers))
 
     def snapshot(self) -> Dict[str, dict]:
-        """Every provider's current dict, keyed by registered name."""
+        """Every provider's current dict, keyed by registered name.
+
+        Keys come back in sorted order regardless of registration
+        order, so two snapshots of the same state serialize
+        identically — the exposition renderer and the snapshot-diffing
+        tests both lean on this determinism.
+        """
         with self._lock:
             providers = dict(self._providers)
         out: Dict[str, dict] = {}
-        for name, provider in providers.items():
+        for name in sorted(providers):
             try:
-                out[name] = provider()
+                out[name] = providers[name]()
             except Exception as exc:  # noqa: BLE001 - one bad source must not hide the rest
                 out[name] = {"error": f"{type(exc).__name__}: {exc}"}
         return out

@@ -53,6 +53,7 @@ from .client import (
     PlanServiceError,
     PlanTimeoutError,
     RetryPolicy,
+    metrics_remote,
     plan_remote,
     stats_remote,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "RequestJournal",
     "RetryPolicy",
     "ServiceMetrics",
+    "metrics_remote",
     "plan",
     "plan_remote",
     "stats_remote",

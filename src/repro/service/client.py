@@ -37,6 +37,7 @@ __all__ = [
     "PlanServiceError",
     "PlanTimeoutError",
     "RetryPolicy",
+    "metrics_remote",
     "plan_remote",
     "stats_remote",
 ]
@@ -244,6 +245,13 @@ class PlanClient:
             _raise_for(response.get("error", {}))
         return response["stats"]
 
+    async def metrics(self) -> str:
+        """The server's Prometheus text-format exposition (a scrape)."""
+        response = await self.request({"type": "metrics"})
+        if not response.get("ok"):
+            _raise_for(response.get("error", {}))
+        return response["metrics"]
+
     async def ping(self) -> bool:
         """Liveness probe."""
         response = await self.request({"type": "ping"})
@@ -319,3 +327,11 @@ def stats_remote(host: str, port: int) -> dict:
     if not response.get("ok"):
         _raise_for(response.get("error", {}))
     return response["stats"]
+
+
+def metrics_remote(host: str, port: int) -> str:
+    """Synchronous one-shot scrape of the Prometheus exposition."""
+    response = asyncio.run(_one_shot(host, port, {"type": "metrics"}))
+    if not response.get("ok"):
+        _raise_for(response.get("error", {}))
+    return response["metrics"]

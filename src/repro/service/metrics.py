@@ -98,6 +98,29 @@ class LatencyHistogram:
         """Number of recorded observations."""
         return self._count
 
+    @property
+    def sum_us(self) -> float:
+        """Sum of all recorded observations, in µs."""
+        return self._sum_us
+
+    def buckets(self) -> List[Tuple[Optional[float], int]]:
+        """Cumulative ``(upper_bound_us, count)`` pairs, Prometheus-style.
+
+        One pair per configured bound plus a final ``(None, total)``
+        overflow pair (``le="+Inf"`` in the exposition format).  Counts
+        are cumulative and non-decreasing — exactly what a histogram
+        scrape must publish.
+        """
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[Optional[float], int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((None, running + counts[-1]))
+        return out
+
     def reset(self) -> None:
         """Drop every observation (bounds are kept)."""
         with self._lock:
@@ -125,18 +148,26 @@ class LatencyHistogram:
             return self._max_us
 
     def snapshot(self) -> dict:
-        """count / mean / min / max / p50 / p95 / p99, all in µs."""
+        """count / sum / mean / min / max / p50 / p95 / p99 / buckets, in µs.
+
+        The ``buckets`` entry is the cumulative Prometheus view from
+        :meth:`buckets`, serialized as ``[bound_or_None, count]`` pairs
+        so the exposition layer can publish ``_bucket{le=...}`` series
+        without reaching back into the histogram.
+        """
         with self._lock:
             count, total = self._count, self._sum_us
             low, high = self._min_us, self._max_us
         return {
             "count": count,
+            "sum_us": total,
             "mean_us": (total / count) if count else None,
             "min_us": low,
             "max_us": high,
             "p50_us": self.quantile(0.50),
             "p95_us": self.quantile(0.95),
             "p99_us": self.quantile(0.99),
+            "buckets": [[bound, n] for bound, n in self.buckets()],
         }
 
 

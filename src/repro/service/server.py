@@ -11,8 +11,14 @@ echoes back (so clients may pipeline):
 * ``{"type": "ping"}`` → ``{"ok": true, "pong": true}``
 * ``{"type": "health"}`` → ``{"ok": true, "health": {"status":
   "ok"|"draining", "inflight": ..., "max_inflight": ..., "fault_mode":
-  ...}}`` — bypasses admission, so health stays answerable while the
-  server sheds plan load.
+  ..., "recovered_entries": ..., "metrics": <GLOBAL_METRICS snapshot>,
+  "slo": <burn-rate snapshot>?}}`` — bypasses admission, so health
+  stays answerable while the server sheds plan load, and carries the
+  unified registry so one call sees every layer.
+* ``{"type": "metrics"}`` → ``{"ok": true, "content_type":
+  "text/plain; version=0.0.4", "metrics": "<Prometheus text>"}`` — the
+  scrape endpoint: the whole ``GLOBAL_METRICS`` registry rendered in
+  the Prometheus text exposition format (also admission-exempt).
 
 Errors come back as ``{"id": ..., "ok": false, "error": {"code": ...,
 "message": ...}}`` with codes ``bad_request``, ``overloaded``,
@@ -40,6 +46,10 @@ import signal
 from typing import Optional, Set
 
 from ..durable.errors import check_positive_int, check_positive_number
+from ..obs.exposition import render_prometheus
+from ..obs.metrics import GLOBAL_METRICS
+from ..obs.profiler import NULL_PROFILER
+from ..obs.slo import SLOSet
 from ..obs.tracer import Tracer
 from ..params import MachineParams
 from .batching import PlanBatcher
@@ -109,6 +119,14 @@ class PlanServer:
         handled line gets one span (request type, id, outcome) on the
         ``service/requests`` track — export after shutdown for a
         Perfetto view of request concurrency.
+    profiler:
+        A :class:`repro.obs.SamplingProfiler` started with the server
+        and stopped at shutdown, so a live service can answer "where
+        is the time going" (defaults to the free ``NULL_PROFILER``).
+    slos:
+        An :class:`repro.obs.SLOSet`: every plan outcome feeds the
+        ``request_errors`` and ``plan_latency_p99`` trackers, and the
+        burn-rate snapshot rides along in :meth:`health_report`.
     """
 
     def __init__(
@@ -127,6 +145,8 @@ class PlanServer:
         max_delay: float = 0.001,
         tracer: Optional[Tracer] = None,
         journal: Optional[RequestJournal] = None,
+        profiler=None,
+        slos: Optional[SLOSet] = None,
     ) -> None:
         check_positive_int("max_inflight", max_inflight)
         # `not x > 0` (rather than `x <= 0`) also rejects NaN, whose
@@ -156,6 +176,9 @@ class PlanServer:
         self.max_n = max_n
         self.journal = journal
         self.tracer = tracer
+        self.profiler = profiler if profiler is not None else NULL_PROFILER
+        self.slos = slos
+        GLOBAL_METRICS.register("server", self._server_gauges)
         self._obs_track = (
             tracer.track("service", "requests")
             if tracer is not None and tracer.enabled
@@ -189,9 +212,27 @@ class PlanServer:
         self._fault_remaining = count
         self._fault_delay = delay
 
-    def health_report(self) -> dict:
-        """The health payload (also exposed on the wire as ``health``)."""
+    def _server_gauges(self) -> dict:
+        """The admission-state gauges published under ``"server"``."""
         return {
+            "inflight": self._active_plans,
+            "max_inflight": self.max_inflight,
+            "draining": 1 if self._draining else 0,
+            "recovered_entries": (
+                self.journal.recovered_entries if self.journal is not None else 0
+            ),
+        }
+
+    def health_report(self) -> dict:
+        """The health payload (also exposed on the wire as ``health``).
+
+        Beyond liveness/admission state, it carries the unified
+        ``GLOBAL_METRICS`` snapshot (so health and stats no longer
+        answer with overlapping-but-different payloads — health is the
+        superset) and, when an :class:`~repro.obs.SLOSet` is wired in,
+        the per-SLO burn-rate snapshot.
+        """
+        report = {
             "status": "draining" if self._draining else "ok",
             "inflight": self._active_plans,
             "max_inflight": self.max_inflight,
@@ -199,7 +240,11 @@ class PlanServer:
             "recovered_entries": (
                 self.journal.recovered_entries if self.journal is not None else 0
             ),
+            "metrics": GLOBAL_METRICS.snapshot(),
         }
+        if self.slos is not None:
+            report["slo"] = self.slos.snapshot()
+        return report
 
     # -- lifecycle ----------------------------------------------------------
     async def start(self) -> None:
@@ -218,6 +263,8 @@ class PlanServer:
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.profiler.enabled:
+            self.profiler.start()
 
     async def serve_forever(self) -> None:
         """Block until the server is closed (e.g. by :meth:`shutdown`)."""
@@ -251,6 +298,8 @@ class PlanServer:
         await self.batcher.close()
         for writer in list(self._writers):
             writer.close()
+        if self.profiler.enabled:
+            self.profiler.stop()
 
     async def run_until_signal(self) -> None:
         """Serve until SIGTERM/SIGINT, then drain gracefully."""
@@ -329,6 +378,13 @@ class PlanServer:
                 response = {"id": request_id, "ok": True, "pong": True}
             elif kind == "health":
                 response = {"id": request_id, "ok": True, "health": self.health_report()}
+            elif kind == "metrics":
+                response = {
+                    "id": request_id,
+                    "ok": True,
+                    "content_type": "text/plain; version=0.0.4",
+                    "metrics": render_prometheus(),
+                }
             else:
                 raise _BadRequest(f"unknown request type {kind!r}")
         except _BadRequest as exc:
@@ -348,6 +404,8 @@ class PlanServer:
                 cat="service",
                 args={"id": request_id, "ok": bool(response.get("ok"))},
             )
+        if self.slos is not None and kind == "plan" and "request_errors" in self.slos.trackers:
+            self.slos.record("request_errors", bool(response.get("ok")))
         await self._write(writer, write_lock, response)
 
     async def _handle_plan(self, payload: dict, request_id) -> dict:
@@ -391,7 +449,13 @@ class PlanServer:
             )
         finally:
             self._active_plans -= 1
-        self.metrics.plan_latency.record(loop.time() - started)
+        elapsed = loop.time() - started
+        self.metrics.plan_latency.record(elapsed)
+        if self.slos is not None:
+            tracker = self.slos.trackers.get("plan_latency_p99")
+            if tracker is not None:
+                bound = tracker.spec.bound or float("inf")
+                self.slos.record("plan_latency_p99", elapsed * 1e6 <= bound)
         return {"id": request_id, "ok": True, "result": result.to_dict()}
 
     @staticmethod

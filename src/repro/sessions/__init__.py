@@ -37,6 +37,7 @@ from .simulator import SessionSimulator
 from .sweep import (
     DEFAULT_LOADS,
     records_json,
+    sessions_alert_log,
     sessions_point,
     sessions_smoke,
     sessions_sweep,
@@ -67,6 +68,7 @@ __all__ = [
     "nearest_rank",
     "poisson_sessions",
     "records_json",
+    "sessions_alert_log",
     "sessions_point",
     "sessions_smoke",
     "sessions_sweep",

@@ -54,6 +54,11 @@ class SessionSimulator(MulticastSimulator):
         to the shared fabric — contention under churn.  Delay-style
         faults (stalls, degradation) keep runs strict; schedules that
         *drop* traffic will leave sessions incomplete and raise.
+    profiler:
+        A :class:`repro.obs.SamplingProfiler` bracketed around each
+        :meth:`run_sessions` call (started/stopped even on failure), so
+        session sweeps can answer "where does the wall-clock go" —
+        planning, simulation, or bookkeeping.
     """
 
     def __init__(
@@ -65,9 +70,11 @@ class SessionSimulator(MulticastSimulator):
         scheduler="fifo",
         max_active: Optional[int] = None,
         schedule=None,
+        profiler=None,
         **kwargs,
     ) -> None:
         self.scheduler = make_scheduler(scheduler)
+        self.profiler = profiler
         kwargs.setdefault("send_policy", self.scheduler.send_policy)
         super().__init__(topology, router, **kwargs)
         hosts = set(topology.hosts)
@@ -148,6 +155,20 @@ class SessionSimulator(MulticastSimulator):
         concurrent run.  ``time_limit`` bounds the concurrent run and
         raises if it cannot quiesce (livelock guard).
         """
+        if self.profiler is not None and self.profiler.enabled:
+            self.profiler.start()
+            try:
+                return self._run_sessions(sessions, time_limit, measure_isolated)
+            finally:
+                self.profiler.stop()
+        return self._run_sessions(sessions, time_limit, measure_isolated)
+
+    def _run_sessions(
+        self,
+        sessions: Sequence[Session],
+        time_limit: Optional[float] = None,
+        measure_isolated: bool = False,
+    ) -> SessionSetResult:
         ordered = sorted(sessions, key=lambda s: s.sort_key)
         if not ordered:
             raise ValueError("run_sessions needs at least one session")

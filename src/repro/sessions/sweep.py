@@ -33,6 +33,7 @@ from .simulator import SessionSimulator
 __all__ = [
     "DEFAULT_LOADS",
     "records_json",
+    "sessions_alert_log",
     "sessions_point",
     "sessions_smoke",
     "sessions_sweep",
@@ -115,6 +116,10 @@ def sessions_point(
         "completed": len(result.results),
     }
     record.update(result.summary())
+    if measure_isolated:
+        # Per-session slowdowns feed the session_slowdown SLO replay
+        # (:func:`sessions_alert_log`); the summary only keeps aggregates.
+        record["slowdowns"] = [float(s) for s in result.slowdowns]
     return record
 
 
@@ -186,6 +191,46 @@ def sessions_table(records: Sequence[dict]) -> str:
         rows,
         title="concurrent sessions: scheduler comparison vs offered load",
     )
+
+
+def sessions_alert_log(
+    records: Sequence[dict],
+    *,
+    spacing: float = 1.0,
+    threshold: Optional[float] = None,
+) -> dict:
+    """Replay session records through the session-slowdown SLO.
+
+    Each record's per-session slowdowns (when measured) become good/bad
+    events against the SLO's slowdown bound on a synthetic timeline —
+    record ``i`` at ``t = i * spacing`` seconds — so a sweep's record
+    list deterministically reproduces its alert log.  Records without
+    ``slowdowns`` fall back to one weighted event on ``max_slowdown``.
+
+    Returns ``{"alerts": [...], "slo": <snapshot>, "records": N}``.
+    """
+    from ..obs.slo import SLOSet, default_slos
+
+    specs = [s for s in default_slos() if s.name == "session_slowdown"]
+    bound = specs[0].bound or float("inf")
+    kwargs = {} if threshold is None else {"threshold": threshold}
+    slos = SLOSet(specs, clock=lambda: 0.0, **kwargs)
+    for index, record in enumerate(records):
+        t = index * spacing
+        slowdowns = record.get("slowdowns")
+        if slowdowns:
+            for slowdown in slowdowns:
+                slos.record("session_slowdown", slowdown <= bound, t=t)
+        else:
+            weight = max(1, int(record.get("completed", 1)))
+            good = record.get("max_slowdown", 0.0) <= bound
+            slos.record("session_slowdown", good, weight=weight, t=t)
+    final_t = (len(records) - 1) * spacing if records else 0.0
+    return {
+        "alerts": slos.alert_dicts(),
+        "slo": slos.snapshot(t=final_t),
+        "records": len(records),
+    }
 
 
 def sessions_smoke(workers: int = 1) -> List[dict]:

@@ -74,6 +74,61 @@ def test_trace_summary_digest(sim_tracer):
     assert "ni/send" in text and "spans" in text and "us" in text
 
 
+@pytest.fixture(scope="module")
+def sessions_tracer():
+    """A tracer filled by a traced concurrent-sessions run."""
+    from repro.analysis.experiments import _testbed
+    from repro.sessions import SessionSimulator, flash_crowd_sessions
+
+    tracer = Tracer()
+    topology, router, ordering = _testbed(1997)
+    sessions = flash_crowd_sessions(
+        ordering, count=4, max_dests=7, packets=2, seed=0, window=50.0
+    )
+    simulator = SessionSimulator(
+        topology, router, ordering, scheduler="fifo", max_active=2, tracer=tracer
+    )
+    simulator.run_sessions(sessions)
+    return tracer
+
+
+def test_sessions_emit_one_named_track_per_session(sessions_tracer):
+    doc = to_chrome(sessions_tracer)
+    # Thread-name metadata events name each session's track.
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {f"session {sid}" for sid in range(4)} <= names
+
+
+def test_session_tracks_hold_fabric_and_queue_spans(sessions_tracer):
+    doc = to_chrome(sessions_tracer)
+    name_of = {}
+    for e in doc["traceEvents"]:
+        if e["ph"] == "M" and e["name"] == "thread_name":
+            name_of[(e["pid"], e["tid"])] = e["args"]["name"]
+    spans_by_track = {}
+    for e in doc["traceEvents"]:
+        if e["ph"] == "X" and e.get("cat") == "session":
+            track = name_of[(e["pid"], e["tid"])]
+            spans_by_track.setdefault(track, []).append(e)
+    assert len(spans_by_track) == 4
+    for sid in range(4):
+        spans = spans_by_track[f"session {sid}"]
+        # The on-fabric span is always present and self-describing...
+        [fabric] = [e for e in spans if e["name"].startswith(f"s{sid} ")]
+        assert "n=" in fabric["name"] and "m=" in fabric["name"]
+        assert fabric["args"]["session"] == sid
+        assert fabric["args"]["latency"] > 0
+        assert fabric["dur"] >= 0
+        # ...and any queueing wait precedes it on the same track.
+        for queued in (e for e in spans if e["name"] == "queued"):
+            assert queued["ts"] + queued["dur"] <= fabric["ts"] + 1e-6
+            assert queued["args"]["session"] == sid
+
+
 def test_export_survives_non_json_args(tmp_path):
     tracer = Tracer()
     track = tracer.track("p", "t")

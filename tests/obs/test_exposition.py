@@ -1,0 +1,193 @@
+"""Prometheus exposition: rendering, strict parsing, full round-trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import parse_prometheus, render_prometheus
+from repro.obs.exposition import (
+    ExpositionError,
+    flatten_for_exposition,
+    MetricFamily,
+)
+
+
+@pytest.fixture
+def snapshot():
+    """A registry-shaped snapshot exercising every mapping rule."""
+    return {
+        "cache": {
+            "plan": {"hits": 3, "misses": 1, "hit_rate": 0.75, "size": 4},
+        },
+        "service": {
+            "counters": {"requests": 10, "shed": 0},
+            "plan_latency": {
+                "count": 4,
+                "sum_us": 100.0,
+                "mean_us": 25.0,
+                "buckets": [[16.0, 1], [64.0, 3], [None, 4]],
+            },
+            "note": "strings are skipped",
+            "absent": None,
+        },
+        "sim": {"ni_buffer_peak": 7},
+    }
+
+
+class TestRender:
+    def test_counters_get_total_suffix(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "repro_cache_plan_hits_total 3" in text
+        assert "repro_service_counters_requests_total 10" in text
+        # Gauges keep their bare name.
+        assert "repro_cache_plan_hit_rate 0.75" in text
+        assert "repro_sim_ni_buffer_peak 7" in text
+
+    def test_histogram_family_series(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "# TYPE repro_service_plan_latency_us histogram" in text
+        assert 'repro_service_plan_latency_us_bucket{le="16"} 1' in text
+        assert 'repro_service_plan_latency_us_bucket{le="+Inf"} 4' in text
+        assert "repro_service_plan_latency_us_sum 100.0" in text
+        assert "repro_service_plan_latency_us_count 4" in text
+        # Derived scalars stay gauges alongside the histogram.
+        assert "repro_service_plan_latency_mean_us 25.0" in text
+
+    def test_non_numeric_leaves_are_skipped(self, snapshot):
+        text = render_prometheus(snapshot)
+        assert "note" not in text
+        assert "absent" not in text
+
+    def test_every_family_has_help_and_type(self, snapshot):
+        text = render_prometheus(snapshot)
+        families = parse_prometheus(text)
+        for family in families.values():
+            assert family.help is not None
+
+    def test_rendering_is_deterministic(self, snapshot):
+        assert render_prometheus(snapshot) == render_prometheus(snapshot)
+
+    def test_unsanitary_provider_paths_are_sanitized(self):
+        text = render_prometheus({"weird": {"a-b.c": 1}})
+        assert "repro_weird_a_b_c 1" in text
+        parse_prometheus(text)  # sanitized names pass the strict parser
+
+    def test_default_snapshot_is_global_registry(self):
+        # The conftest fixture guarantees the baseline "cache" provider.
+        families = parse_prometheus(render_prometheus())
+        assert any(name.startswith("repro_cache") for name in families)
+
+
+class TestRoundTrip:
+    def test_every_sample_survives_parse(self, snapshot):
+        flat = flatten_for_exposition(snapshot)
+        families = parse_prometheus(render_prometheus(snapshot))
+        parsed = {}
+        for family in families.values():
+            for name, labels, value in family.samples:
+                key = (name, labels["le"]) if "le" in labels else name
+                parsed[key] = value
+        assert parsed == {key: float(v) for key, v in flat.items()}
+
+    def test_live_service_metrics_round_trip(self):
+        from repro.service.metrics import ServiceMetrics
+
+        metrics = ServiceMetrics()
+        metrics.requests.inc()
+        metrics.plans.inc(3)
+        metrics.plan_latency.record(120e-6)
+        metrics.plan_latency.record(0.08)
+        families = parse_prometheus(render_prometheus())
+        assert "repro_service_counters_requests_total" in families
+        hist = families["repro_service_plan_latency_us"]
+        count = [v for n, _, v in hist.samples if n.endswith("_count")]
+        assert count == [2.0]
+
+
+class TestStrictParser:
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ExpositionError, match="before its # TYPE"):
+            parse_prometheus("repro_x 1\n")
+
+    def test_duplicate_type_rejected(self):
+        doc = "# TYPE a gauge\na 1\n# TYPE a gauge\n"
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            parse_prometheus(doc)
+
+    def test_duplicate_series_rejected(self):
+        doc = "# TYPE a gauge\na 1\na 2\n"
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            parse_prometheus(doc)
+
+    def test_invalid_metric_name_rejected(self):
+        doc = "# TYPE a-b gauge\na-b 1\n"
+        with pytest.raises(ExpositionError, match="invalid metric name"):
+            parse_prometheus(doc)
+
+    def test_counter_must_end_in_total(self):
+        doc = "# TYPE a counter\na 1\n"
+        with pytest.raises(ExpositionError, match="must end in _total"):
+            parse_prometheus(doc)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ExpositionError, match="unknown type"):
+            parse_prometheus("# TYPE a widget\na 1\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError, match="bad sample value"):
+            parse_prometheus("# TYPE a gauge\na pony\n")
+
+    def test_type_without_samples_rejected(self):
+        with pytest.raises(ExpositionError, match="no samples"):
+            parse_prometheus("# TYPE a gauge\n")
+
+    def test_unquoted_label_value_rejected(self):
+        doc = '# TYPE h histogram\nh_bucket{le=+Inf} 1\nh_count 1\nh_sum 0\n'
+        with pytest.raises(ExpositionError, match="quoted"):
+            parse_prometheus(doc)
+
+    def _histogram_doc(self, buckets, count=None):
+        lines = ["# TYPE h histogram"]
+        for le, value in buckets:
+            lines.append(f'h_bucket{{le="{le}"}} {value}')
+        total = count if count is not None else (buckets[-1][1] if buckets else 0)
+        lines.append(f"h_sum 0")
+        lines.append(f"h_count {total}")
+        return "\n".join(lines) + "\n"
+
+    def test_histogram_missing_inf_bucket_rejected(self):
+        doc = self._histogram_doc([("10", 1), ("20", 2)])
+        with pytest.raises(ExpositionError, match=r"missing \+Inf"):
+            parse_prometheus(doc)
+
+    def test_histogram_non_cumulative_rejected(self):
+        doc = self._histogram_doc([("10", 5), ("20", 3), ("+Inf", 5)])
+        with pytest.raises(ExpositionError, match="not cumulative"):
+            parse_prometheus(doc)
+
+    def test_histogram_unsorted_bounds_rejected(self):
+        doc = self._histogram_doc([("20", 1), ("10", 1), ("+Inf", 2)])
+        with pytest.raises(ExpositionError, match="not increasing"):
+            parse_prometheus(doc)
+
+    def test_histogram_inf_count_disagreement_rejected(self):
+        doc = self._histogram_doc([("10", 1), ("+Inf", 2)], count=9)
+        with pytest.raises(ExpositionError, match="!= _count"):
+            parse_prometheus(doc)
+
+    def test_histogram_without_buckets_rejected(self):
+        doc = "# TYPE h histogram\nh_sum 0\nh_count 0\n"
+        with pytest.raises(ExpositionError, match="no buckets"):
+            parse_prometheus(doc)
+
+    def test_inf_and_nan_values_parse(self):
+        doc = "# TYPE a gauge\na +Inf\n# TYPE b gauge\nb NaN\n"
+        families = parse_prometheus(doc)
+        assert families["a"].samples[0][2] == math.inf
+        assert math.isnan(families["b"].samples[0][2])
+
+    def test_family_repr_mentions_sample_count(self):
+        family = MetricFamily("a", "gauge")
+        assert "a" in repr(family)

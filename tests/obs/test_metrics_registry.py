@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.machine import Machine
-from repro.obs import GLOBAL_METRICS, MetricsRegistry
+from repro.obs import GLOBAL_METRICS, MetricsRegistry, sanitize_metric_name
 from repro.obs.metrics import cache_snapshot
 
 
@@ -104,3 +104,48 @@ def test_fixture_isolates_runtime_registrations():
     # test, so runtime registrations made by earlier tests (simulators,
     # plan servers) must never be visible here.
     assert GLOBAL_METRICS.names() == ("cache",)
+
+
+def test_sanitize_passes_valid_names_through():
+    for name in ("cache", "plan_latency", "A15", "_private", "x2"):
+        assert sanitize_metric_name(name) == name
+
+
+def test_sanitize_replaces_prometheus_hostile_characters():
+    assert sanitize_metric_name("plan-latency.p99") == "plan_latency_p99"
+    assert sanitize_metric_name("per cpu") == "per_cpu"
+    assert sanitize_metric_name("9lives") == "_9lives"
+
+
+def test_sanitize_rejects_hopeless_names():
+    with pytest.raises(ValueError):
+        sanitize_metric_name("")
+    with pytest.raises(TypeError):
+        sanitize_metric_name(7)
+
+
+def test_provider_names_sanitized_at_registration():
+    # Regression: names are cleaned on the way *in*, so every snapshot
+    # key is already a legal Prometheus metric-name component.
+    reg = MetricsRegistry()
+    reg.register("my-provider.v2", lambda: {"x": 1})
+    reg.set_gauges("some gauges", {"bad-key.name": 2.0})
+    snap = reg.snapshot()
+    assert snap["my_provider_v2"] == {"x": 1}
+    assert snap["some_gauges"] == {"bad_key_name": 2.0}
+    reg.unregister("my-provider.v2")  # unregister sanitizes too
+    assert "my_provider_v2" not in reg.snapshot()
+
+
+def test_snapshot_order_is_deterministic():
+    # Regression: snapshots iterate providers in sorted order, so two
+    # registries holding the same providers render identically no
+    # matter the registration order (the exposition layer's contract).
+    forward, backward = MetricsRegistry(), MetricsRegistry()
+    names = ["zeta", "alpha", "mid"]
+    for name in names:
+        forward.register(name, lambda: {"v": 1})
+    for name in reversed(names):
+        backward.register(name, lambda: {"v": 1})
+    assert list(forward.snapshot()) == sorted(names)
+    assert list(forward.snapshot()) == list(backward.snapshot())

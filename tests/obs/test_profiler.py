@@ -1,0 +1,185 @@
+"""Sampling profiler: manual determinism, live capture, exports."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import NULL_PROFILER, SamplingProfiler
+from repro.obs.profiler import NullProfiler
+
+
+STACK_A = ("mod:main", "mod:outer", "mod:inner")
+STACK_B = ("mod:main", "mod:other")
+
+
+def manual_profiler(**kwargs) -> SamplingProfiler:
+    """A profiler that never spawns a thread (sim-time mode)."""
+    return SamplingProfiler(auto_start=False, seed=0, **kwargs)
+
+
+class TestManualMode:
+    def test_sample_stack_accumulates_counts(self):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_A)
+        prof.sample_stack(STACK_A, count=2)
+        prof.sample_stack(STACK_B)
+        assert prof.samples == 4
+        assert prof.stack_counts() == {STACK_A: 3, STACK_B: 1}
+
+    def test_empty_stack_is_ignored(self):
+        prof = manual_profiler()
+        prof.sample_stack(())
+        assert prof.samples == 0
+
+    def test_collapsed_output_is_sorted_and_newline_terminated(self):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_B)
+        prof.sample_stack(STACK_A, count=3)
+        text = prof.to_collapsed()
+        assert text == "mod:main;mod:other 1\nmod:main;mod:outer;mod:inner 3\n"
+
+    def test_empty_profile_collapses_to_empty_string(self):
+        assert manual_profiler().to_collapsed() == ""
+
+    def test_identical_samples_give_identical_exports(self):
+        profs = [manual_profiler(), manual_profiler()]
+        for prof in profs:
+            prof.sample_stack(STACK_A, count=5)
+            prof.sample_stack(STACK_B, count=2)
+        assert profs[0].to_collapsed() == profs[1].to_collapsed()
+        assert profs[0].to_speedscope() == profs[1].to_speedscope()
+
+    def test_max_depth_truncates_deep_stacks(self):
+        prof = manual_profiler(max_depth=4)
+        # sample_once applies the depth cap while walking real frames;
+        # drive it against this thread from all_threads mode.
+        prof.all_threads = True
+        prof.sample_once()
+        for stack in prof.stack_counts():
+            assert len(stack) <= 4
+
+
+class TestSpeedscope:
+    def test_schema_and_weights(self):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_A, count=3)
+        prof.sample_stack(STACK_B)
+        doc = prof.to_speedscope(name="unit test")
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        [profile] = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert profile["name"] == "unit test"
+        assert sum(profile["weights"]) == 4.0
+        assert profile["endValue"] == 4.0
+        # Every sample's frame indices resolve into the shared table.
+        frames = doc["shared"]["frames"]
+        for sample in profile["samples"]:
+            for index in sample:
+                assert 0 <= index < len(frames)
+
+    def test_shared_frames_are_deduplicated(self):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_A)
+        prof.sample_stack(STACK_B)
+        names = [f["name"] for f in prof.to_speedscope()["shared"]["frames"]]
+        assert len(names) == len(set(names))
+        assert set(names) == set(STACK_A) | set(STACK_B)
+
+
+class TestExports:
+    def test_write_collapsed(self, tmp_path):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_A, count=2)
+        path = prof.write_collapsed(str(tmp_path / "prof.collapsed"))
+        assert open(path, encoding="utf-8").read() == prof.to_collapsed()
+
+    def test_write_speedscope_round_trips_as_json(self, tmp_path):
+        prof = manual_profiler()
+        prof.sample_stack(STACK_A)
+        path = prof.write_speedscope(str(tmp_path / "prof.json"))
+        assert json.loads(open(path, encoding="utf-8").read()) == prof.to_speedscope()
+
+
+class TestLiveSampling:
+    def test_samples_the_starting_thread(self):
+        prof = SamplingProfiler(hz=500.0, seed=0)
+        deadline = time.perf_counter() + 5.0
+        with prof:
+            while prof.samples == 0 and time.perf_counter() < deadline:
+                sum(i * i for i in range(1000))
+        assert prof.samples > 0
+        # Only the target (this) thread was sampled: every stack bottoms
+        # out in this module's call chain, not the sampler thread's.
+        for stack in prof.stack_counts():
+            assert any("test_profiler" in label or "runpy" in label or
+                       "pytest" in label or ":" in label for label in stack)
+        snap = prof.snapshot()
+        assert snap["samples"] == prof.samples
+        assert snap["elapsed_s"] > 0
+        assert snap["effective_hz"] > 0
+
+    def test_sample_once_filters_to_target_thread(self):
+        prof = manual_profiler()
+        prof.start()  # manual mode: records the target, spawns nothing
+        done = threading.Event()
+        thread = threading.Thread(target=done.wait, name="bystander")
+        thread.start()
+        try:
+            taken = prof.sample_once()
+            assert taken == 1  # only the calling (target) thread
+        finally:
+            done.set()
+            thread.join()
+
+    def test_all_threads_mode_sees_other_threads(self):
+        prof = manual_profiler(all_threads=True)
+        prof.start()
+        done = threading.Event()
+        thread = threading.Thread(target=done.wait, name="bystander")
+        thread.start()
+        try:
+            taken = prof.sample_once()
+            assert taken >= 2
+        finally:
+            done.set()
+            thread.join()
+
+    def test_stop_is_idempotent_and_freezes_elapsed(self):
+        prof = SamplingProfiler(hz=200.0)
+        prof.start()
+        prof.stop()
+        elapsed = prof.snapshot()["elapsed_s"]
+        time.sleep(0.01)
+        prof.stop()
+        assert prof.snapshot()["elapsed_s"] == elapsed
+
+
+class TestDisabledAndNull:
+    def test_disabled_profiler_is_inert(self):
+        prof = SamplingProfiler(enabled=False)
+        prof.start()
+        prof.sample_stack(STACK_A)
+        assert prof.sample_once() == 0
+        assert prof.samples == 0
+        assert prof._thread is None  # start() spawned nothing
+
+    def test_null_profiler_singleton(self):
+        assert isinstance(NULL_PROFILER, NullProfiler)
+        assert NULL_PROFILER.enabled is False
+        assert NULL_PROFILER.start() is NULL_PROFILER
+        assert NULL_PROFILER.sample_once() == 0
+        NULL_PROFILER.sample_stack(STACK_A)
+        assert NULL_PROFILER.stack_counts() == {}
+        assert NULL_PROFILER.to_collapsed() == ""
+        with NULL_PROFILER as prof:
+            assert prof is NULL_PROFILER
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=-5)

@@ -1,0 +1,157 @@
+"""Bench trajectory + regression gate: recording, comparison, self-test."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import compare, record_trajectory, run_gates
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    GATES,
+    TRAJECTORY_SCHEMA,
+    format_report,
+    ingest_bench_json,
+    latest_entries,
+    load_trajectory,
+)
+
+
+def entries(**medians):
+    return [
+        {"id": gate_id, "name": gate_id, "unit": "s", "median": m, "samples": [m]}
+        for gate_id, m in medians.items()
+    ]
+
+
+class TestGates:
+    def test_gate_ids_match_the_benchmark_index(self):
+        assert set(GATES) == {"A15", "A17", "A18", "A19"}
+        for workload, name in GATES.values():
+            assert callable(workload) and name
+
+    def test_run_gates_produces_trajectory_entries(self):
+        progress = []
+        [entry] = run_gates(["A18"], repeats=2, warmup=0, progress=progress.append)
+        assert entry["id"] == "A18"
+        assert entry["unit"] == "s"
+        assert len(entry["samples"]) == 2
+        assert entry["median"] > 0
+        assert any("A18" in line for line in progress)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(KeyError, match="A99"):
+            run_gates(["A99"])
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_gates(["A18"], repeats=0)
+
+
+class TestTrajectory:
+    def test_record_and_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "traj.json")
+        run = record_trajectory(entries(A18=0.002), path, extra={"note": "first"})
+        assert run["manifest"]["note"] == "first"
+        assert run["manifest"]["schema"] == 1
+        record_trajectory(entries(A18=0.003), path)
+        trajectory = load_trajectory(path)
+        assert trajectory["schema"] == TRAJECTORY_SCHEMA
+        assert len(trajectory["runs"]) == 2
+        assert latest_entries(trajectory)[0]["median"] == 0.003
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        trajectory = load_trajectory(str(tmp_path / "absent.json"))
+        assert trajectory["runs"] == []
+        assert latest_entries(trajectory) == []
+
+    def test_bare_baseline_run_is_accepted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"manifest": {}, "entries": entries(A18=0.5)}))
+        assert latest_entries(load_trajectory(str(path)))[0]["id"] == "A18"
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a trajectory"):
+            load_trajectory(str(path))
+
+    def test_trajectory_file_has_no_crc_churn(self, tmp_path):
+        # Committed files are hand-diffed; the CRC stamp must be absent.
+        path = str(tmp_path / "traj.json")
+        record_trajectory(entries(A18=0.002), path)
+        doc = json.loads(open(path, encoding="utf-8").read())
+        from repro.durable.atomic import CRC_KEY
+
+        assert CRC_KEY not in doc
+
+    def test_ingest_pytest_benchmark_json(self, tmp_path):
+        artifact = {
+            "benchmarks": [
+                {
+                    "name": "test_bench_thing",
+                    "fullname": "benchmarks/bench_x.py::test_bench_thing",
+                    "stats": {"median": 0.01, "data": [0.009, 0.01, 0.011]},
+                },
+                {"name": "no_stats", "stats": {}},
+            ]
+        }
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(artifact))
+        [entry] = ingest_bench_json(str(path))
+        assert entry["id"] == "test_bench_thing"
+        assert entry["median"] == 0.01
+        assert entry["samples"] == [0.009, 0.01, 0.011]
+
+
+class TestCompare:
+    def test_flags_a_synthetic_2x_slowdown(self):
+        """The issue's self-test: an injected 2x slowdown must be caught."""
+        baseline = entries(A15=0.1, A17=0.03, A18=0.002, A19=0.015)
+        slowed = [dict(e, median=e["median"] * 2.0) for e in baseline]
+        report = compare(slowed, baseline)
+        assert report["ok"] is False
+        assert report["regressions"] == ["A15", "A17", "A18", "A19"]
+        for row in report["rows"]:
+            assert row["ratio"] == pytest.approx(2.0)
+            assert row["regressed"]
+
+    def test_within_threshold_passes(self):
+        baseline = entries(A18=0.100)
+        current = entries(A18=0.114)  # +14% < the 15% default
+        report = compare(current, baseline)
+        assert report["ok"] is True
+        assert report["regressions"] == []
+
+    def test_speedups_never_flag(self):
+        report = compare(entries(A18=0.05), entries(A18=0.1))
+        assert report["ok"] is True
+        assert report["rows"][0]["ratio"] == pytest.approx(0.5)
+
+    def test_threshold_is_honored(self):
+        baseline, current = entries(A18=0.1), entries(A18=0.13)
+        assert compare(current, baseline, threshold=0.5)["ok"] is True
+        assert compare(current, baseline, threshold=0.35)["ok"] is True
+        assert compare(current, baseline, threshold=0.25)["ok"] is False
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            compare(entries(A18=1.0), entries(A18=1.0), threshold=0.0)
+
+    def test_unpaired_ids_reported_not_compared(self):
+        report = compare(entries(A18=0.1, A20=0.2), entries(A18=0.1, A15=0.3))
+        assert report["missing"] == {
+            "baseline_only": ["A15"],
+            "current_only": ["A20"],
+        }
+        assert [row["id"] for row in report["rows"]] == ["A18"]
+
+    def test_default_threshold_is_fifteen_percent(self):
+        assert DEFAULT_THRESHOLD == 0.15
+
+    def test_format_report_verdicts(self):
+        ok = format_report(compare(entries(A18=0.1), entries(A18=0.1)))
+        assert "verdict: OK" in ok and "ok" in ok
+        bad = format_report(compare(entries(A18=0.3), entries(A18=0.1)))
+        assert "REGRESSION in A18" in bad and "REGRESSED" in bad

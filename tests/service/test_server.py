@@ -257,3 +257,122 @@ class TestRequestSpans:
 
         server = run(body())
         assert server.tracer is None
+
+
+class TestObservatory:
+    def test_metrics_wire_request_scrapes_prometheus_text(self):
+        from repro.obs import parse_prometheus
+
+        async def body():
+            server = await started_server(workers=2)
+            client = await PlanClient.connect("127.0.0.1", server.port)
+            for n in (8, 16, 32):
+                await client.plan(n, 4)
+            raw = await client.request({"type": "metrics"})
+            text = await client.metrics()
+            await client.close()
+            await server.shutdown()
+            return raw, text
+
+        raw, text = run(body())
+        assert raw["ok"] is True
+        assert raw["content_type"] == "text/plain; version=0.0.4"
+        # Scrapes are live — the first one bumps the requests counter —
+        # so both must parse, and the counters must move monotonically.
+        first = parse_prometheus(raw["metrics"])
+        second = parse_prometheus(text)
+        counter = "repro_service_counters_requests_total"
+        assert second[counter].samples[0][2] == first[counter].samples[0][2] + 1
+        families = parse_prometheus(text)  # strict: the scrape must be legal
+        by_name = {}
+        for family in families.values():
+            for name, labels, value in family.samples:
+                if not labels:
+                    by_name[name] = value
+        assert by_name["repro_service_counters_plans_total"] == 3.0
+        assert by_name["repro_service_plan_latency_us_count"] == 3.0
+        # The server publishes its own gauges while alive.
+        assert "repro_server_max_inflight" in by_name
+        assert "repro_server_draining" in by_name
+
+    def test_metrics_remote_sync_wrapper(self):
+        from repro.service import metrics_remote
+
+        # The sync wrapper spins its own event loop, so call it from a
+        # worker thread while the server's loop keeps running here.
+        async def scenario():
+            server = await started_server()
+            text = await asyncio.get_running_loop().run_in_executor(
+                None, metrics_remote, "127.0.0.1", server.port
+            )
+            await server.shutdown()
+            return text
+
+        text = run(scenario())
+        assert "# TYPE" in text and "repro_cache" in text
+
+    def test_health_report_carries_metrics_and_slo(self):
+        from repro.obs import SLOSet
+
+        slos = SLOSet(clock=lambda: 0.0)
+
+        async def body():
+            server = await started_server(slos=slos)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                await client.plan(16, 4)
+                health = await client.health()
+            await server.shutdown()
+            return health
+
+        health = run(body())
+        assert health["status"] == "ok"
+        assert "cache" in health["metrics"] and "service" in health["metrics"]
+        slo_snap = health["slo"]["slos"]
+        assert slo_snap["plan_latency_p99"]["total_good"] >= 1.0
+        assert slo_snap["request_errors"]["total_good"] >= 1.0
+        assert health["slo"]["alerts"] == 0
+
+    def test_error_responses_burn_the_error_budget(self):
+        from repro.obs import SLOSet
+
+        slos = SLOSet(clock=lambda: 0.0)
+
+        async def body():
+            server = await started_server(slos=slos)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                await client.request({"type": "plan", "n": 1, "m": 2})  # bad
+                await client.plan(8, 2)  # good
+            await server.shutdown()
+
+        run(body())
+        tracker = slos.trackers["request_errors"]
+        assert tracker._total_bad == 1.0
+        assert tracker._total_good == 1.0
+
+    def test_server_profiler_lifecycle(self):
+        from repro.obs import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=50.0, seed=0)
+
+        async def body():
+            server = await started_server(profiler=profiler)
+            assert profiler._thread is not None  # started with the server
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                await client.plan(16, 4)
+            await server.shutdown()
+
+        run(body())
+        assert profiler._thread is None  # stopped with the server
+        assert profiler.snapshot()["elapsed_s"] > 0
+
+    def test_default_server_uses_the_null_profiler(self):
+        from repro.obs import NULL_PROFILER
+
+        async def body():
+            server = await started_server()
+            await server.shutdown()
+            return server
+
+        server = run(body())
+        assert server.profiler is NULL_PROFILER
+        assert server.slos is None
