@@ -15,21 +15,11 @@ from __future__ import annotations
 import asyncio
 
 from repro.analysis import render_table
+from repro.analysis.load import zipf_plan_mix
 from repro.service import PlanClient, PlanRequest, PlanServer, plan
 
 CONCURRENCY = (1, 8, 32, 128)
 REQUESTS = 256
-
-
-def zipf_mix(total: int) -> list:
-    """Deterministic Zipf-ish (n, m) mix: key rank i gets ~1/(i+1) mass."""
-    keys = [(8 * (i + 1), m) for i in range(16) for m in (4, 16)]
-    weights = [1.0 / (rank + 1) for rank in range(len(keys))]
-    scale = total / sum(weights)
-    mix = []
-    for key, weight in zip(keys, weights):
-        mix.extend([key] * max(1, round(weight * scale)))
-    return mix[:total]
 
 
 async def drive(mix, concurrency: int) -> dict:
@@ -62,7 +52,7 @@ async def drive(mix, concurrency: int) -> dict:
 
 
 def measure():
-    mix = zipf_mix(REQUESTS)
+    mix = zipf_plan_mix(REQUESTS)
     unique = len(set(mix))
     rows = []
     for concurrency in CONCURRENCY:

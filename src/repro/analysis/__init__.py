@@ -15,6 +15,7 @@ from .experiments import (
 )
 from .breakdown import LatencyBreakdown, run_breakdown
 from .export import series_to_csv, write_csv
+from .load import zipf_draw, zipf_plan_mix, zipf_weights
 from .plot import ascii_plot
 from .stats import Summary, summarize
 from .sweep import SweepPoint, SweepStore, run_sweep, sweep, sweep_table, workers_from_env
@@ -48,4 +49,7 @@ __all__ = [
     "sweep_table",
     "workers_from_env",
     "write_csv",
+    "zipf_draw",
+    "zipf_plan_mix",
+    "zipf_weights",
 ]

@@ -77,11 +77,14 @@ _POSITIVE_INT_ARGS = (
     "workers", "topologies", "dest_sets", "runs", "dests", "bytes",
     "max_m", "max_inflight", "max_batch", "max_n", "ports",
     "n_max", "m_max", "count", "max_active", "repeats",
+    "shards", "vnodes", "replication", "fail_after",
 )
 _POSITIVE_NUMBER_ARGS = (
     "timeout", "max_delay", "t_s", "t_r", "t_step", "t_sq",
-    "profile_hz", "threshold",
+    "profile_hz", "threshold", "probe_interval", "probe_timeout",
 )
+#: Integer options where zero is meaningful (ids, epochs, seeds).
+_NONNEGATIVE_INT_ARGS = ("shard_id", "ring_epoch", "hot_threshold")
 
 
 def _validate_args(args) -> None:
@@ -94,6 +97,10 @@ def _validate_args(args) -> None:
         value = getattr(args, name, None)
         if value is not None:
             check_positive_number(f"--{name.replace('_', '-')}", value)
+    for name in _NONNEGATIVE_INT_ARGS:
+        value = getattr(args, name, None)
+        if value is not None:
+            check_positive_int(f"--{name.replace('_', '-')}", value, minimum=0)
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         raise ValidationError("--resume requires --checkpoint PATH")
 
@@ -642,6 +649,8 @@ def _cmd_serve(args) -> None:
         max_n=args.max_n,
         tracer=tracer,
         journal=journal,
+        shard_id=args.shard_id,
+        ring_epoch=args.ring_epoch,
     )
 
     async def _run() -> None:
@@ -660,6 +669,125 @@ def _cmd_serve(args) -> None:
     print("plan service drained and stopped")
     _finish_trace(args, tracer)
     _maybe_stats(args)
+
+
+def _router_kwargs(args) -> dict:
+    return {
+        "host": args.host,
+        "port": args.port,
+        "vnodes": args.vnodes,
+        "seed": args.seed,
+        "replication": args.replication,
+        "probe_interval": args.probe_interval,
+        "fail_after": args.fail_after,
+    }
+
+
+async def _run_router(router, shards: int) -> None:
+    await router.start()
+    print(
+        f"cluster router listening on {router.host}:{router.port}"
+        f" ({shards} shards)", flush=True,
+    )
+    await router.run_until_signal()
+
+
+def _cmd_cluster_serve(args) -> None:
+    """Spawn N shard workers plus a router, in the foreground."""
+    import asyncio
+
+    from .cluster import ClusterRouter, spawn_shards
+
+    shards = spawn_shards(
+        args.shards,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        journal_dir=args.journal_dir,
+    )
+    try:
+        for shard in shards:
+            print(
+                f"shard {shard.shard_id} pid {shard.pid} listening on "
+                f"{shard.spec.host}:{shard.spec.port}", flush=True,
+            )
+        router = ClusterRouter([s.spec for s in shards], **_router_kwargs(args))
+        asyncio.run(_run_router(router, len(shards)))
+    finally:
+        for shard in shards:
+            shard.terminate()
+        for shard in shards:
+            try:
+                shard.wait(timeout=10)
+            except Exception:  # noqa: BLE001 - escalate a wedged drain
+                shard.kill()
+    print("cluster drained and stopped")
+
+
+def _parse_shard_spec(text: str):
+    from .cluster import ShardSpec
+
+    sid_part, eq, address = text.partition("=")
+    if not eq:
+        raise ValidationError(
+            f"--shard must look like ID=HOST:PORT, got {text!r}"
+        )
+    host, _, port = address.rpartition(":")
+    try:
+        return ShardSpec(
+            shard_id=int(sid_part), host=host or "127.0.0.1", port=int(port)
+        )
+    except ValueError as exc:
+        raise ValidationError(f"bad --shard {text!r}: {exc}") from exc
+
+
+def _cmd_cluster_route(args) -> None:
+    """Route over externally managed shards (no spawning)."""
+    import asyncio
+
+    from .cluster import ClusterRouter
+
+    specs = [_parse_shard_spec(text) for text in args.shard]
+    router = ClusterRouter(specs, **_router_kwargs(args))
+    asyncio.run(_run_router(router, len(specs)))
+    print("cluster router stopped")
+
+
+def _cmd_cluster_status(args) -> None:
+    """One status snapshot from a live router, rendered as a table."""
+    from .cluster import cluster_status_remote
+
+    host, _, port = args.connect.rpartition(":")
+    status = cluster_status_remote(host or "127.0.0.1", int(port))
+    ring = status["ring"]
+    rows = []
+    for sid, shard in sorted(status["shards"].items(), key=lambda kv: int(kv[0])):
+        rows.append(
+            [
+                sid,
+                f"{shard['host']}:{shard['port']}",
+                "up" if shard["up"] else "DOWN",
+                shard["status"] or "-",
+                "-" if shard["ring_epoch"] is None else shard["ring_epoch"],
+                "-" if shard["recovered_entries"] is None else shard["recovered_entries"],
+                shard["strikes"],
+            ]
+        )
+    print(
+        render_table(
+            ["shard", "address", "up", "status", "epoch", "recovered", "strikes"],
+            rows,
+            title=(
+                f"cluster ring epoch {ring['epoch']}: {len(ring['members'])} member(s),"
+                f" {len(status['down'])} down, replication {status['replication']}"
+            ),
+        )
+    )
+    counters = status["counters"]
+    print(
+        f"forwarded {counters['forwarded']}, failovers {counters['failovers']},"
+        f" failed shards {counters['failed_shards']}, rejoins {counters['rejoins']},"
+        f" warmed keys {counters['warmed_keys']}, errors {counters['errors']}"
+    )
 
 
 def _cmd_plan(args) -> None:
@@ -1057,6 +1185,16 @@ def build_parser() -> argparse.ArgumentParser:
              "to pre-warm the plan caches (warm restart)",
     )
     p.add_argument(
+        "--shard-id", dest="shard_id", type=int, default=None,
+        help="cluster identity: which shard this server is (labels its "
+             "health report and Prometheus exposition)",
+    )
+    p.add_argument(
+        "--ring-epoch", dest="ring_epoch", type=int, default=0,
+        help="cluster identity: the ring epoch this shard starts at "
+             "(requests stamped with an older epoch get stale_map)",
+    )
+    p.add_argument(
         "--trace-out", dest="trace_out", default=None, metavar="PATH",
         help="write a Chrome trace of handled requests on shutdown",
     )
@@ -1066,6 +1204,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile_options(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster", help="sharded plan service: spawn, route, inspect"
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def add_router_options(cp):
+        cp.add_argument("--host", default="127.0.0.1")
+        cp.add_argument(
+            "--port", type=int, default=7117, help="router port (0 = ephemeral)"
+        )
+        cp.add_argument("--vnodes", type=int, default=64, help="ring points per shard")
+        cp.add_argument("--seed", type=int, default=0, help="ring placement seed")
+        cp.add_argument(
+            "--replication", type=int, default=2,
+            help="replica-chain length per key (2 = primary + one replica)",
+        )
+        cp.add_argument(
+            "--probe-interval", dest="probe_interval", type=float, default=0.5,
+            help="seconds between health probes",
+        )
+        cp.add_argument(
+            "--fail-after", dest="fail_after", type=int, default=2,
+            help="consecutive probe misses that evict a shard",
+        )
+
+    cp = cluster_sub.add_parser(
+        "serve", help="spawn N shard workers and route in the foreground"
+    )
+    add_router_options(cp)
+    cp.add_argument("--shards", type=int, default=4, help="shard worker processes")
+    cp.add_argument("--workers", type=int, default=1, help="planner threads per shard")
+    cp.add_argument("--max-inflight", type=int, default=256, help="per-shard admission bound")
+    cp.add_argument(
+        "--journal-dir", dest="journal_dir", default=None, metavar="DIR",
+        help="per-shard request journals here (warm handoff on respawn)",
+    )
+    cp.set_defaults(func=_cmd_cluster_serve)
+
+    cp = cluster_sub.add_parser(
+        "route", help="route over externally started shards"
+    )
+    add_router_options(cp)
+    cp.add_argument(
+        "--shard", action="append", required=True, metavar="ID=HOST:PORT",
+        help="one shard address (repeatable), e.g. --shard 0=127.0.0.1:7017",
+    )
+    cp.set_defaults(func=_cmd_cluster_route)
+
+    cp = cluster_sub.add_parser("status", help="one status snapshot from a router")
+    cp.add_argument(
+        "--connect", required=True, metavar="HOST:PORT", help="router address"
+    )
+    cp.set_defaults(func=_cmd_cluster_status)
 
     p = sub.add_parser(
         "metrics", help="Prometheus text exposition of the unified metrics"

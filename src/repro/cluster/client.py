@@ -1,0 +1,250 @@
+"""``ClusterClient``: shard-map-aware routing with stale-map recovery.
+
+The router answers every plan, but each forward costs an extra hop and
+a shared frontend event loop.  A :class:`ClusterClient` fetches the
+shard map once, rebuilds the same :class:`~repro.cluster.ring.HashRing`
+locally (placement is a pure function of the map — see
+:mod:`repro.cluster.ring`), and talks to shards *directly* over one
+pipelined :class:`~repro.service.PlanClient` per shard.  The router
+stays in the loop only as the map authority and the fallback path.
+
+Every direct request is stamped with the map's ring epoch.  When a
+membership change has happened since the map was fetched, the shard
+answers ``stale_map`` (with its current epoch) instead of planning;
+the client refreshes the map from the router and re-routes — the retry
+path the ISSUE names.  A shard that drops mid-request (SIGKILL) shows
+up as a connection error instead: the client drops that connection,
+refreshes the map, and re-routes the same way, falling back to a
+router-forwarded plan (which runs the replica chain) when direct
+attempts run out — so a shard kill costs retries, never errors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Sequence
+
+from ..durable.errors import ValidationError, check_positive_int
+from ..params import MachineParams
+from ..service.client import (
+    PlanClient,
+    PlanServiceError,
+    PlanTimeoutError,
+    StaleMapError,
+)
+from ..service.planner import PlanResult
+from .ring import HashRing, plan_key
+from .shard import ShardSpec
+
+__all__ = ["ClusterClient", "cluster_status_remote", "shard_map_remote"]
+
+
+class ClusterClient:
+    """Plan against a cluster by routing directly to its shards.
+
+    Build with :meth:`connect`; use as an async context manager or
+    pair with :meth:`close`.  ``route_attempts`` bounds how many
+    refresh-and-re-route rounds a plan tries before falling back to
+    the router's replica-chain forwarding.
+    """
+
+    def __init__(self, router: PlanClient, *, route_attempts: int = 3) -> None:
+        check_positive_int("route_attempts", route_attempts)
+        self._router = router
+        self.route_attempts = route_attempts
+        self.ring: Optional[HashRing] = None
+        self._specs: Dict[int, ShardSpec] = {}
+        self._clients: Dict[int, PlanClient] = {}
+        # Serializes dials: concurrent plans to a cold shard share one
+        # connection instead of stampeding (and leaking the losers).
+        self._connect_lock = asyncio.Lock()
+        self._closed = False
+        #: Observable recovery counters (the failover tests read these).
+        self.map_refreshes = 0
+        self.stale_map_retries = 0
+        self.router_fallbacks = 0
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+        route_attempts: int = 3,
+    ) -> "ClusterClient":
+        """Connect to the router and learn the initial shard map."""
+        router = await PlanClient.connect(host, port, timeout=timeout)
+        client = cls(router, route_attempts=route_attempts)
+        await client.refresh_map()
+        return client
+
+    async def __aenter__(self) -> "ClusterClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def epoch(self) -> int:
+        """The ring epoch of the map this client is routing with."""
+        return self.ring.epoch if self.ring is not None else -1
+
+    # -- the shard map -------------------------------------------------
+
+    async def refresh_map(self) -> HashRing:
+        """Fetch the current shard map from the router and adopt it.
+
+        The router is the authority: whatever epoch it serves replaces
+        the local ring (even an equal one — refresh is also how the
+        client recovers addresses after reconnects).  Connections to
+        shards that left the map are closed.
+        """
+        response = await self._router.request({"type": "shard_map"})
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise PlanServiceError(
+                error.get("code", "internal"), error.get("message", "shard_map failed")
+            )
+        self.ring = HashRing.from_map(response["map"])
+        specs = {}
+        for raw in response.get("shards", {}).values():
+            spec = ShardSpec.from_dict(raw)
+            specs[spec.shard_id] = spec
+        if set(specs) != set(self.ring.members):
+            raise ValidationError(
+                f"shard map names members {sorted(self.ring.members)} but carries"
+                f" addresses for {sorted(specs)}"
+            )
+        self._specs = specs
+        self.map_refreshes += 1
+        for sid in list(self._clients):
+            if sid not in specs:
+                await self._drop_client(sid)
+        return self.ring
+
+    async def _drop_client(self, shard_id: int) -> None:
+        client = self._clients.pop(shard_id, None)
+        if client is not None:
+            await client.close()
+
+    async def _shard_client(self, shard_id: int) -> Optional[PlanClient]:
+        client = self._clients.get(shard_id)
+        if client is not None and client.alive:
+            return client
+        async with self._connect_lock:
+            client = self._clients.get(shard_id)  # a waiter may have dialed
+            if client is not None and client.alive:
+                return client
+            if client is not None:
+                await self._drop_client(shard_id)
+            spec = self._specs.get(shard_id)
+            if spec is None:
+                return None
+            try:
+                client = await PlanClient.connect(spec.host, spec.port, timeout=2.0)
+            except PlanServiceError:
+                return None
+            self._clients[shard_id] = client
+            return client
+
+    # -- planning ------------------------------------------------------
+
+    async def plan(
+        self,
+        n: int,
+        m: int,
+        params: Optional[MachineParams] = None,
+        *,
+        exclude: Sequence[int] = (),
+        timeout: Optional[float] = None,
+    ) -> PlanResult:
+        """Plan ``(n, m[, params])`` via direct shard routing.
+
+        Route attempts walk: primary per the local map, epoch-stamped.
+        ``stale_map`` or a dead connection → refresh the map, re-route.
+        When ``route_attempts`` rounds are exhausted the plan falls
+        back to the router, whose replica-chain forwarding absorbs
+        anything short of a whole-cluster outage.
+        """
+        if self._closed:
+            raise RuntimeError("client is closed")
+        assert self.ring is not None
+        key = plan_key(n, m, params)
+        for _ in range(self.route_attempts):
+            sid = self.ring.lookup(key)
+            client = await self._shard_client(sid)
+            if client is None:
+                await self.refresh_map()
+                continue
+            try:
+                return await client.plan(
+                    n,
+                    m,
+                    params,
+                    exclude=exclude,
+                    timeout=timeout,
+                    epoch=self.ring.epoch,
+                )
+            except StaleMapError:
+                self.stale_map_retries += 1
+                await self.refresh_map()
+            except (PlanTimeoutError, ConnectionError):
+                await self._drop_client(sid)
+                await self.refresh_map()
+            except PlanServiceError as exc:
+                if exc.code != "unavailable":
+                    raise
+                await self._drop_client(sid)
+                await self.refresh_map()
+        self.router_fallbacks += 1
+        return await self._router.plan(n, m, params, exclude=exclude, timeout=timeout)
+
+    # -- cluster views -------------------------------------------------
+
+    async def status(self) -> dict:
+        """The router's :meth:`~repro.cluster.router.ClusterRouter.status_report`."""
+        response = await self._router.request({"type": "status"})
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise PlanServiceError(
+                error.get("code", "internal"), error.get("message", "status failed")
+            )
+        return response["status"]
+
+    async def metrics(self) -> str:
+        """The cluster's merged Prometheus exposition (via the router)."""
+        return await self._router.metrics()
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for sid in list(self._clients):
+            await self._drop_client(sid)
+        await self._router.close()
+
+
+async def _router_one_shot(host: str, port: int, payload: dict) -> dict:
+    client = await PlanClient.connect(host, port)
+    try:
+        response = await client.request(payload)
+    finally:
+        await client.close()
+    if not response.get("ok"):
+        error = response.get("error", {})
+        raise PlanServiceError(
+            error.get("code", "internal"), error.get("message", "request failed")
+        )
+    return response
+
+
+def cluster_status_remote(host: str, port: int) -> dict:
+    """Synchronous one-shot ``status`` against a router (CLI helper)."""
+    return asyncio.run(_router_one_shot(host, port, {"type": "status"}))["status"]
+
+
+def shard_map_remote(host: str, port: int) -> dict:
+    """Synchronous one-shot ``shard_map`` against a router (CLI helper)."""
+    response = asyncio.run(_router_one_shot(host, port, {"type": "shard_map"}))
+    return {"map": response["map"], "shards": response["shards"]}

@@ -1,0 +1,182 @@
+"""Deterministic consistent-hash ring over the plan-key space.
+
+The cluster's one invariant: **any process holding the same shard map
+routes any plan key to the same shard.**  The router, every client,
+and every test must agree without talking to each other, so placement
+is a pure function of ``(seed, members, key)``:
+
+* Hashing uses :func:`stable_hash` — BLAKE2b truncated to 64 bits —
+  because Python's builtin ``hash()`` is salted per process and would
+  scatter keys differently in every worker.
+* Each shard contributes ``vnodes`` points ``stable_hash("ring:{seed}:
+  {shard}:{v}")`` on a 64-bit circle; a key hashes to ``stable_hash(
+  "key:{seed}:{key}")`` and is owned by the first point clockwise.
+  Virtual nodes keep the per-shard load share near 1/N and, more
+  importantly, make membership changes *minimal*: adding a shard steals
+  roughly 1/N of the keys and only ever remaps keys **to** the new
+  shard — never between survivors (the property tests pin this
+  exactly).
+* Replicas come from :meth:`HashRing.chain`: keep walking clockwise
+  past the primary until a *different* shard appears.  With N >= 2
+  every key has a primary and a distinct replica.
+
+Membership changes bump ``epoch``.  Requests stamped with an old epoch
+are rejected by shards with a ``stale_map`` error, which is how clients
+holding a dead shard's map find out without a broadcast channel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..durable.errors import ValidationError, check_positive_int
+from ..params import MachineParams, PAPER_MACHINE
+
+__all__ = ["HashRing", "plan_key", "stable_hash"]
+
+_SPACE = 1 << 64
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (BLAKE2b truncated)."""
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def plan_key(n: int, m: int, params: Optional[MachineParams] = None) -> str:
+    """The canonical routing key for a plan request.
+
+    ``repr`` of the floats keeps distinct parameter sets distinct
+    (shortest round-trip repr) while equal sets collapse to one key, so
+    single-flight dedupe and routing agree on identity.
+    """
+    p = PAPER_MACHINE if params is None else params
+    return f"{n}:{m}:{p.t_s!r}:{p.t_r!r}:{p.t_step!r}:{p.t_sq!r}:{p.ports}"
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes and epoch-stamped membership.
+
+    ``shard_ids`` are small ints (the cluster's stable worker names);
+    ``seed`` varies the whole placement reproducibly; ``vnodes`` trades
+    balance against ring size (64 points/shard holds the load share
+    within a few percent of 1/N for single-digit clusters).
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[int],
+        *,
+        vnodes: int = 64,
+        seed: int = 0,
+        epoch: int = 0,
+    ) -> None:
+        check_positive_int("vnodes", vnodes)
+        check_positive_int("epoch", epoch, minimum=0)
+        check_positive_int("seed", seed, minimum=0)
+        ids = list(shard_ids)
+        if not ids:
+            raise ValidationError("ring needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ValidationError(f"duplicate shard ids in {ids}")
+        for sid in ids:
+            check_positive_int("shard_id", sid, minimum=0)
+        self.vnodes = vnodes
+        self.seed = seed
+        self.epoch = epoch
+        self._members: List[int] = sorted(ids)
+        self._points: List[Tuple[int, int]] = []
+        self._rebuild()
+
+    # -- membership ---------------------------------------------------
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return tuple(self._members)
+
+    def _rebuild(self) -> None:
+        points = []
+        for sid in self._members:
+            for v in range(self.vnodes):
+                points.append((stable_hash(f"ring:{self.seed}:{sid}:{v}"), sid))
+        points.sort()
+        self._points = points
+        self._point_keys = [point for point, _ in points]
+
+    def add_shard(self, shard_id: int) -> None:
+        """Join ``shard_id``; bumps the epoch."""
+        check_positive_int("shard_id", shard_id, minimum=0)
+        if shard_id in self._members:
+            raise ValidationError(f"shard {shard_id} already in ring")
+        self._members.append(shard_id)
+        self._members.sort()
+        self.epoch += 1
+        self._rebuild()
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Evict ``shard_id``; bumps the epoch."""
+        if shard_id not in self._members:
+            raise ValidationError(f"shard {shard_id} not in ring")
+        if len(self._members) == 1:
+            raise ValidationError("cannot remove the last shard")
+        self._members.remove(shard_id)
+        self.epoch += 1
+        self._rebuild()
+
+    # -- placement ----------------------------------------------------
+
+    def lookup(self, key: str) -> int:
+        """The primary shard owning ``key``."""
+        return self.chain(key, 1)[0]
+
+    def chain(self, key: str, count: int) -> Tuple[int, ...]:
+        """Up to ``count`` *distinct* shards clockwise from ``key``.
+
+        Index 0 is the primary, index 1 the replica, and so on; the
+        chain is shorter than ``count`` only when the ring has fewer
+        members.
+        """
+        check_positive_int("count", count)
+        point = stable_hash(f"key:{self.seed}:{key}")
+        start = bisect_right(self._point_keys, point) % len(self._points)
+        chain: List[int] = []
+        for offset in range(len(self._points)):
+            sid = self._points[(start + offset) % len(self._points)][1]
+            if sid not in chain:
+                chain.append(sid)
+                if len(chain) == count or len(chain) == len(self._members):
+                    break
+        return tuple(chain)
+
+    # -- serialization ------------------------------------------------
+
+    def to_map(self) -> Dict[str, object]:
+        """The wire-form shard map clients rebuild the ring from."""
+        return {
+            "members": list(self._members),
+            "vnodes": self.vnodes,
+            "seed": self.seed,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_map(cls, payload: Dict[str, object]) -> "HashRing":
+        """Rebuild a ring from :meth:`to_map` output (wire payloads)."""
+        try:
+            return cls(
+                [int(sid) for sid in payload["members"]],  # type: ignore[union-attr]
+                vnodes=int(payload["vnodes"]),  # type: ignore[arg-type]
+                seed=int(payload["seed"]),  # type: ignore[arg-type]
+                epoch=int(payload["epoch"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"bad shard map: {exc}") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HashRing(members={self._members}, vnodes={self.vnodes},"
+            f" seed={self.seed}, epoch={self.epoch})"
+        )

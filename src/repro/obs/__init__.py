@@ -43,7 +43,7 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
-from .exposition import parse_prometheus, render_prometheus
+from .exposition import parse_prometheus, render_prometheus, render_prometheus_cluster
 from .manifest import git_sha, run_manifest
 from .metrics import GLOBAL_METRICS, MetricsRegistry, sanitize_metric_name
 from .profiler import NULL_PROFILER, SamplingProfiler
@@ -71,6 +71,7 @@ __all__ = [
     "parse_prometheus",
     "record_trajectory",
     "render_prometheus",
+    "render_prometheus_cluster",
     "run_gates",
     "run_manifest",
     "sanitize_metric_name",

@@ -33,6 +33,17 @@ numeric leaf becomes one sample whose name is the ``_``-joined,
 ``{sample_name_or_(name, le): value}`` dict so tests can assert the
 rendered text round-trips every counter, histogram bucket, and gauge
 without re-implementing the walk.
+
+Constant labels
+---------------
+:func:`render_prometheus` accepts ``labels={"shard": "2"}`` — constant
+labels stamped on every sample — and
+:func:`render_prometheus_cluster` merges *several* registry snapshots
+(one per shard) into one document where each shard's series carry its
+``shard`` label, so the router can aggregate a cluster scrape without
+name collisions.  The strict parser validates histograms **per label
+set** (each shard's buckets must be cumulative on their own; counts
+across shards legitimately are not).
 """
 
 from __future__ import annotations
@@ -48,6 +59,7 @@ __all__ = [
     "flatten_for_exposition",
     "parse_prometheus",
     "render_prometheus",
+    "render_prometheus_cluster",
 ]
 
 #: Default namespace prefixed to every sample name.
@@ -194,10 +206,71 @@ def flatten_for_exposition(
     return out
 
 
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(
+    labels: Optional[Mapping[str, str]], extra: Optional[Tuple[str, str]] = None
+) -> str:
+    """``{k="v",...}`` (or empty) for constant labels plus an optional pair."""
+    items: List[Tuple[str, str]] = sorted(labels.items()) if labels else []
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{_escape_label_value(value)}"' for key, value in items)
+    return "{" + body + "}"
+
+
+def _check_labels(labels: Optional[Mapping[str, str]]) -> Optional[Mapping[str, str]]:
+    if labels:
+        for key in labels:
+            if not key or sanitize_metric_name(key) != key or key == "le":
+                raise ExpositionError(f"invalid constant label name {key!r}")
+    return labels
+
+
+def _family_lines(
+    counters: Dict[str, float],
+    gauges: Dict[str, float],
+    histograms: Dict[str, Mapping],
+    labels: Optional[Mapping[str, str]],
+) -> Dict[str, Tuple[str, List[str]]]:
+    """Family name -> (type, sample lines), with constant ``labels``."""
+    out: Dict[str, Tuple[str, List[str]]] = {}
+    plain = _label_str(labels)
+    for name, value in counters.items():
+        out[name] = ("counter", [f"{name}{plain} {_format_value(value)}"])
+    for name, value in gauges.items():
+        out[name] = ("gauge", [f"{name}{plain} {_format_value(value)}"])
+    for name, tree in histograms.items():
+        lines = [
+            f"{name}_bucket{_label_str(labels, ('le', _format_le(bound)))} "
+            f"{_format_value(cumulative)}"
+            for bound, cumulative in tree["buckets"]
+        ]
+        lines.append(f"{name}_sum{plain} {_format_value(tree.get('sum_us', 0.0))}")
+        lines.append(f"{name}_count{plain} {_format_value(tree['count'])}")
+        out[name] = ("histogram", lines)
+    return out
+
+
+def _render(families: Dict[str, Tuple[str, List[str]]]) -> str:
+    lines: List[str] = []
+    for name in sorted(families):
+        kind, samples = families[name]
+        lines.append(f"# HELP {name} repro metrics registry sample {name}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + "\n"
+
+
 def render_prometheus(
     snapshot: Optional[Mapping[str, Mapping]] = None,
     *,
     namespace: str = NAMESPACE,
+    labels: Optional[Mapping[str, str]] = None,
 ) -> str:
     """``snapshot`` rendered as a Prometheus text-format document.
 
@@ -205,34 +278,50 @@ def render_prometheus(
     headers, so identical registry states render byte-identically (the
     registry's own sorted snapshot plus this sort make the whole
     pipeline deterministic).  ``snapshot`` defaults to a fresh
-    ``GLOBAL_METRICS.snapshot()``.
+    ``GLOBAL_METRICS.snapshot()``.  ``labels`` are constant labels
+    stamped on every sample (a shard-configured server passes its
+    ``shard`` identity here).
     """
     if snapshot is None:
         snapshot = GLOBAL_METRICS.snapshot()
+    _check_labels(labels)
     counters, gauges, histograms = _classified(snapshot, namespace)
-    lines: List[str] = []
-    families = sorted(
-        [(name, "counter") for name in counters]
-        + [(name, "gauge") for name in gauges]
-        + [(name, "histogram") for name in histograms]
-    )
-    for name, kind in families:
-        lines.append(f"# HELP {name} repro metrics registry sample {name}")
-        lines.append(f"# TYPE {name} {kind}")
-        if kind == "histogram":
-            tree = histograms[name]
-            for bound, cumulative in tree["buckets"]:
-                lines.append(
-                    f'{name}_bucket{{le="{_format_le(bound)}"}} '
-                    f"{_format_value(cumulative)}"
-                )
-            lines.append(f"{name}_sum {_format_value(tree.get('sum_us', 0.0))}")
-            lines.append(f"{name}_count {_format_value(tree['count'])}")
-        elif kind == "counter":
-            lines.append(f"{name} {_format_value(counters[name])}")
-        else:
-            lines.append(f"{name} {_format_value(gauges[name])}")
-    return "\n".join(lines) + "\n"
+    return _render(_family_lines(counters, gauges, histograms, labels))
+
+
+def render_prometheus_cluster(
+    snapshots: Mapping[str, Mapping[str, Mapping]],
+    *,
+    namespace: str = NAMESPACE,
+    label: str = "shard",
+) -> str:
+    """Several registry snapshots (keyed by shard name) as one document.
+
+    Every shard's samples carry ``<label>="<shard name>"``, families
+    that appear on several shards share one ``# TYPE`` header, and
+    shards are emitted in sorted order within each family — the whole
+    document stays deterministic and passes the strict parser (which
+    validates histogram buckets per label set).
+    """
+    if not snapshots:
+        raise ExpositionError("cluster exposition needs at least one snapshot")
+    _check_labels({label: "x"})
+    merged: Dict[str, Tuple[str, List[str]]] = {}
+    for shard in sorted(snapshots, key=str):
+        counters, gauges, histograms = _classified(snapshots[shard], namespace)
+        families = _family_lines(counters, gauges, histograms, {label: str(shard)})
+        for name, (kind, lines) in families.items():
+            if name in merged:
+                seen_kind, seen_lines = merged[name]
+                if seen_kind != kind:
+                    raise ExpositionError(
+                        f"{name}: type conflict across shards"
+                        f" ({seen_kind} vs {kind})"
+                    )
+                seen_lines.extend(lines)
+            else:
+                merged[name] = (kind, list(lines))
+    return _render(merged)
 
 
 # ---------------------------------------------------------------------------
@@ -255,6 +344,32 @@ def _parse_value(token: str, where: str) -> float:
         raise ExpositionError(f"{where}: bad sample value {token!r}") from None
 
 
+def _unescape_label_value(raw: str, where: str) -> str:
+    if "\\" not in raw:
+        return raw
+    out = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(raw):
+            raise ExpositionError(f"{where}: dangling escape in label value")
+        nxt = raw[i + 1]
+        if nxt == "n":
+            out.append("\n")
+        elif nxt in ('"', "\\"):
+            out.append(nxt)
+        else:
+            raise ExpositionError(
+                f"{where}: bad escape '\\{nxt}' in label value"
+            )
+        i += 2
+    return "".join(out)
+
+
 def _parse_sample(line: str, lineno: int) -> Tuple[str, Dict[str, str], float]:
     where = f"line {lineno}"
     if "{" in line:
@@ -271,7 +386,7 @@ def _parse_sample(line: str, lineno: int) -> Tuple[str, Dict[str, str], float]:
                 raise ExpositionError(f"{where}: label value must be quoted: {piece!r}")
             if key in labels:
                 raise ExpositionError(f"{where}: duplicate label {key!r}")
-            labels[key] = raw[1:-1]
+            labels[key] = _unescape_label_value(raw[1:-1], where)
         value_token = value_part.strip().split()
     else:
         parts = line.split()
@@ -295,31 +410,44 @@ def _family_of(sample_name: str, type_: str) -> str:
 
 
 def _check_histogram(family: MetricFamily) -> None:
-    buckets: List[Tuple[float, float]] = []
-    count: Optional[float] = None
+    """Validate each (non-``le``) label set's series independently.
+
+    A labeled family — e.g. one ``shard="N"`` series per cluster
+    member — interleaves several histograms under one name; each must
+    be cumulative with a ``+Inf``/``_count`` agreement *on its own*,
+    while counts pooled across label sets legitimately are not.
+    """
+    GroupKey = Tuple[Tuple[str, str], ...]
+    buckets: Dict[GroupKey, List[Tuple[float, float]]] = {}
+    counts: Dict[GroupKey, float] = {}
     for name, labels, value in family.samples:
+        group: GroupKey = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
         if name == family.name + "_bucket":
             if "le" not in labels:
                 raise ExpositionError(f"{family.name}: bucket sample without le label")
-            buckets.append((_parse_value(labels["le"], family.name), value))
+            buckets.setdefault(group, []).append(
+                (_parse_value(labels["le"], family.name), value)
+            )
         elif name == family.name + "_count":
-            count = value
+            counts[group] = value
     if not buckets:
         raise ExpositionError(f"{family.name}: histogram with no buckets")
-    bounds = [b for b, _ in buckets]
-    if bounds != sorted(bounds):
-        raise ExpositionError(f"{family.name}: bucket bounds not increasing")
-    values = [v for _, v in buckets]
-    if any(b > a for a, b in zip(values[1:], values)):
-        raise ExpositionError(f"{family.name}: bucket counts not cumulative")
-    if not math.isinf(bounds[-1]):
-        raise ExpositionError(f"{family.name}: missing +Inf bucket")
-    if count is None:
-        raise ExpositionError(f"{family.name}: histogram without _count")
-    if values[-1] != count:
-        raise ExpositionError(
-            f"{family.name}: +Inf bucket {values[-1]} != _count {count}"
-        )
+    for group, pairs in buckets.items():
+        where = family.name + (str(dict(group)) if group else "")
+        bounds = [b for b, _ in pairs]
+        if bounds != sorted(bounds):
+            raise ExpositionError(f"{where}: bucket bounds not increasing")
+        values = [v for _, v in pairs]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise ExpositionError(f"{where}: bucket counts not cumulative")
+        if not math.isinf(bounds[-1]):
+            raise ExpositionError(f"{where}: missing +Inf bucket")
+        if group not in counts:
+            raise ExpositionError(f"{where}: histogram without _count")
+        if values[-1] != counts[group]:
+            raise ExpositionError(
+                f"{where}: +Inf bucket {values[-1]} != _count {counts[group]}"
+            )
 
 
 def parse_prometheus(text: str) -> Dict[str, MetricFamily]:

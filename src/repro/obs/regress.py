@@ -4,8 +4,9 @@ Six perf-focused PRs produced zero *tracked* baselines — a regression
 would ship silently.  This module closes that hole with three pieces:
 
 * **Gates** — self-contained, seconds-scale wall-clock workloads
-  distilled from the A15/A17/A18/A19 benchmarks (service Zipf drive,
-  checkpointed sweep, surface build, flash-crowd sessions).  Each gate
+  distilled from the A15/A17/A18/A19/A21 benchmarks (service Zipf
+  drive, checkpointed sweep, surface build, flash-crowd sessions,
+  2-shard cluster routing).  Each gate
   runs ``repeats`` times after a warmup and reports its *median*
   seconds, the statistic least moved by scheduler noise.
 * **Trajectory file** — every run appends ``{manifest, entries}`` to a
@@ -60,15 +61,10 @@ def _gate_service() -> None:
     """A15 distilled: drive the plan server over a socket, Zipf mix."""
     import asyncio
 
+    from ..analysis.load import zipf_plan_mix
     from ..service import PlanClient, PlanServer
 
-    keys = [(8 * (i + 1), m) for i in range(8) for m in (4, 16)]
-    weights = [1.0 / (rank + 1) for rank in range(len(keys))]
-    scale = 96 / sum(weights)
-    mix: List[tuple] = []
-    for key, weight in zip(keys, weights):
-        mix.extend([key] * max(1, round(weight * scale)))
-    mix = mix[:96]
+    mix = zipf_plan_mix(96, n_keys=8)
 
     async def drive() -> None:
         server = PlanServer(port=0, workers=2, max_delay=0.002, max_inflight=2 * len(mix))
@@ -130,6 +126,45 @@ def _gate_sessions() -> None:
     )
 
 
+def _gate_cluster() -> None:
+    """A21 distilled: a 2-shard in-process cluster behind the router."""
+    import asyncio
+
+    from ..analysis.load import zipf_plan_mix
+    from ..cluster import ClusterClient, ClusterRouter, ShardSpec
+    from ..service import PlanServer
+
+    mix = zipf_plan_mix(96, n_keys=8, seed=0)
+
+    async def drive() -> None:
+        servers = []
+        specs = []
+        for sid in range(2):
+            server = PlanServer(
+                port=0, workers=2, max_delay=0.002, max_inflight=2 * len(mix),
+                shard_id=sid,
+            )
+            await server.start()
+            servers.append(server)
+            specs.append(ShardSpec(shard_id=sid, host="127.0.0.1", port=server.port))
+        router = ClusterRouter(specs, port=0, probe_interval=5.0)
+        await router.start()
+        client = await ClusterClient.connect("127.0.0.1", router.port)
+        semaphore = asyncio.Semaphore(32)
+
+        async def one(n: int, m: int):
+            async with semaphore:
+                return await client.plan(n, m)
+
+        await asyncio.gather(*[one(n, m) for n, m in mix])
+        await client.close()
+        await router.shutdown()
+        for server in servers:
+            await server.shutdown()
+
+    asyncio.run(drive())
+
+
 #: Gate id -> (workload, human name).  Ids match the benchmark index in
 #: DESIGN.md so trajectory entries and EXPERIMENTS.md sections line up.
 GATES: Dict[str, tuple] = {
@@ -137,6 +172,7 @@ GATES: Dict[str, tuple] = {
     "A17": (_gate_durable, "checkpointed sweep with chunk journal"),
     "A18": (_gate_surface, "analytic surface cold build + extraction"),
     "A19": (_gate_sessions, "flash-crowd sessions point (cda)"),
+    "A21": (_gate_cluster, "2-shard cluster, Zipf mix via shard-map routing"),
 }
 
 

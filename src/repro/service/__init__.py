@@ -53,6 +53,7 @@ from .client import (
     PlanServiceError,
     PlanTimeoutError,
     RetryPolicy,
+    StaleMapError,
     metrics_remote,
     plan_remote,
     stats_remote,
@@ -76,6 +77,7 @@ __all__ = [
     "RequestJournal",
     "RetryPolicy",
     "ServiceMetrics",
+    "StaleMapError",
     "metrics_remote",
     "plan",
     "plan_remote",

@@ -37,6 +37,7 @@ __all__ = [
     "PlanServiceError",
     "PlanTimeoutError",
     "RetryPolicy",
+    "StaleMapError",
     "metrics_remote",
     "plan_remote",
     "stats_remote",
@@ -63,6 +64,20 @@ class PlanTimeoutError(PlanServiceError):
         super().__init__("timeout", message)
 
 
+class StaleMapError(PlanServiceError):
+    """The request's ring epoch predates the shard's — refresh the map.
+
+    Not blind-retryable: the same request against the same shard fails
+    the same way.  :attr:`ring_epoch` is the shard's current epoch (or
+    ``None`` on a malformed error), the target a refreshed map must
+    reach before the retry is worth sending.
+    """
+
+    def __init__(self, code: str, message: str, ring_epoch: Optional[int] = None) -> None:
+        super().__init__(code, message)
+        self.ring_epoch = ring_epoch
+
+
 #: Error codes that indicate a transient condition worth retrying.
 RETRYABLE_CODES = frozenset({"overloaded", "timeout", "unavailable"})
 
@@ -72,6 +87,8 @@ def _raise_for(error: dict) -> None:
     message = error.get("message", "")
     if code == "overloaded":
         raise OverloadedError(code, message)
+    if code == "stale_map":
+        raise StaleMapError(code, message, ring_epoch=error.get("ring_epoch"))
     raise PlanServiceError(code, message)
 
 
@@ -165,6 +182,16 @@ class PlanClient:
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
 
+    @property
+    def alive(self) -> bool:
+        """Whether the connection can still carry requests.
+
+        ``close()`` flips :attr:`_closed`, but a *server*-side drop
+        only kills the reader task — pool owners (the cluster router)
+        check this before reusing a cached connection.
+        """
+        return not self._closed and not self._reader_task.done()
+
     # -- requests -----------------------------------------------------------
     async def request(self, payload: dict, timeout: Optional[float] = None) -> dict:
         """Send one raw request object, await its routed response.
@@ -202,6 +229,7 @@ class PlanClient:
         exclude: Sequence[int] = (),
         timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
+        epoch: Optional[int] = None,
     ) -> PlanResult:
         """Request a plan for ``(n, m[, params])``; raises on service errors.
 
@@ -210,12 +238,19 @@ class PlanClient:
         (:data:`RETRYABLE_CODES`: overloaded / timeout / server-side
         fault injection reporting unavailable) with the policy's
         backoff; the last failure propagates when attempts run out.
+        ``epoch`` stamps the request with the ring epoch of the shard
+        map it was routed by; a shard ahead of that epoch answers
+        :class:`StaleMapError` instead of a plan (cluster clients
+        refresh their map and re-route — deliberately *not* part of
+        the blind retry loop here).
         """
         payload: dict = {"type": "plan", "n": n, "m": m}
         if params is not None:
             payload["params"] = params.to_dict()
         if exclude:
             payload["exclude"] = sorted(set(exclude))
+        if epoch is not None:
+            payload["epoch"] = epoch
         delays = retry.delays() if retry is not None else iter(())
         while True:
             try:
@@ -256,6 +291,18 @@ class PlanClient:
         """Liveness probe."""
         response = await self.request({"type": "ping"})
         return bool(response.get("pong"))
+
+    async def configure(
+        self, *, ring_epoch: int, shard_id: Optional[int] = None
+    ) -> dict:
+        """Push cluster identity to the server (the router's failover hook)."""
+        payload: dict = {"type": "configure", "ring_epoch": ring_epoch}
+        if shard_id is not None:
+            payload["shard_id"] = shard_id
+        response = await self.request(payload)
+        if not response.get("ok"):
+            _raise_for(response.get("error", {}))
+        return response["configured"]
 
     async def close(self) -> None:
         """Close the connection and fail any outstanding waiters."""

@@ -18,11 +18,29 @@ echoes back (so clients may pipeline):
 * ``{"type": "metrics"}`` → ``{"ok": true, "content_type":
   "text/plain; version=0.0.4", "metrics": "<Prometheus text>"}`` — the
   scrape endpoint: the whole ``GLOBAL_METRICS`` registry rendered in
-  the Prometheus text exposition format (also admission-exempt).
+  the Prometheus text exposition format (also admission-exempt; a
+  shard-configured server stamps every series with its ``shard``
+  label so the router can aggregate scrapes without collisions).
+* ``{"type": "configure", "ring_epoch": 3, "shard_id": 1?}`` →
+  ``{"ok": true, "configured": {"shard_id": ..., "ring_epoch": ...}}``
+  — the cluster router's reconfiguration hook (admission-exempt):
+  after a membership change it pushes the new ring epoch to every
+  surviving shard.  The epoch is monotonic; pushing an older one is a
+  ``bad_request``.
+
+Cluster epoch fencing: a plan request may carry ``"epoch": E`` (the
+ring epoch of the shard map the client routed with).  A request from
+*behind* — ``E`` older than this server's ``ring_epoch`` — is refused
+with a ``stale_map`` error carrying the current ``ring_epoch``, which
+tells the client its map predates a membership change and it must
+refresh before retrying.  Requests from ahead (the router configures
+shards before publishing the new map, so a client can never legally be
+ahead for long) are served: plan results do not depend on placement,
+only dedupe locality does.
 
 Errors come back as ``{"id": ..., "ok": false, "error": {"code": ...,
 "message": ...}}`` with codes ``bad_request``, ``overloaded``,
-``timeout``, and ``internal``.
+``timeout``, ``stale_map``, and ``internal``.
 
 Overload policy (the load-shedding half of the ISSUE): at most
 ``max_inflight`` plan requests may be in flight server-wide; the
@@ -127,6 +145,14 @@ class PlanServer:
         An :class:`repro.obs.SLOSet`: every plan outcome feeds the
         ``request_errors`` and ``plan_latency_p99`` trackers, and the
         burn-rate snapshot rides along in :meth:`health_report`.
+    shard_id, ring_epoch:
+        Cluster identity: which shard this server is and which ring
+        epoch it was configured with.  Both ride in
+        :meth:`health_report` (the router's failover decisions key off
+        them), the epoch fences ``stale_map`` rejections, and a
+        shard-configured server labels its Prometheus exposition with
+        ``shard="<id>"``.  ``shard_id=None`` (the default) keeps the
+        standalone single-server behavior exactly.
     """
 
     def __init__(
@@ -147,8 +173,13 @@ class PlanServer:
         journal: Optional[RequestJournal] = None,
         profiler=None,
         slos: Optional[SLOSet] = None,
+        shard_id: Optional[int] = None,
+        ring_epoch: int = 0,
     ) -> None:
         check_positive_int("max_inflight", max_inflight)
+        if shard_id is not None:
+            check_positive_int("shard_id", shard_id, minimum=0)
+        check_positive_int("ring_epoch", ring_epoch, minimum=0)
         # `not x > 0` (rather than `x <= 0`) also rejects NaN, whose
         # comparisons are all false — a NaN deadline would disable
         # asyncio.wait_for silently.
@@ -178,6 +209,8 @@ class PlanServer:
         self.tracer = tracer
         self.profiler = profiler if profiler is not None else NULL_PROFILER
         self.slos = slos
+        self.shard_id = shard_id
+        self.ring_epoch = ring_epoch
         GLOBAL_METRICS.register("server", self._server_gauges)
         self._obs_track = (
             tracer.track("service", "requests")
@@ -214,14 +247,18 @@ class PlanServer:
 
     def _server_gauges(self) -> dict:
         """The admission-state gauges published under ``"server"``."""
-        return {
+        gauges = {
             "inflight": self._active_plans,
             "max_inflight": self.max_inflight,
             "draining": 1 if self._draining else 0,
             "recovered_entries": (
                 self.journal.recovered_entries if self.journal is not None else 0
             ),
+            "ring_epoch": self.ring_epoch,
         }
+        if self.shard_id is not None:
+            gauges["shard_id"] = self.shard_id
+        return gauges
 
     def health_report(self) -> dict:
         """The health payload (also exposed on the wire as ``health``).
@@ -237,6 +274,8 @@ class PlanServer:
             "inflight": self._active_plans,
             "max_inflight": self.max_inflight,
             "fault_mode": self._fault_mode,
+            "shard_id": self.shard_id,
+            "ring_epoch": self.ring_epoch,
             "recovered_entries": (
                 self.journal.recovered_entries if self.journal is not None else 0
             ),
@@ -379,12 +418,17 @@ class PlanServer:
             elif kind == "health":
                 response = {"id": request_id, "ok": True, "health": self.health_report()}
             elif kind == "metrics":
+                labels = (
+                    {"shard": str(self.shard_id)} if self.shard_id is not None else None
+                )
                 response = {
                     "id": request_id,
                     "ok": True,
                     "content_type": "text/plain; version=0.0.4",
-                    "metrics": render_prometheus(),
+                    "metrics": render_prometheus(labels=labels),
                 }
+            elif kind == "configure":
+                response = self._handle_configure(payload, request_id)
             else:
                 raise _BadRequest(f"unknown request type {kind!r}")
         except _BadRequest as exc:
@@ -408,7 +452,43 @@ class PlanServer:
             self.slos.record("request_errors", bool(response.get("ok")))
         await self._write(writer, write_lock, response)
 
+    def _handle_configure(self, payload: dict, request_id) -> dict:
+        """Adopt a new ring epoch (and optionally a shard id) from the router."""
+        epoch = payload.get("ring_epoch")
+        if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+            raise _BadRequest(f"ring_epoch must be an integer >= 0, got {epoch!r}")
+        if epoch < self.ring_epoch:
+            raise _BadRequest(
+                f"ring_epoch {epoch} is older than the current {self.ring_epoch}"
+            )
+        if "shard_id" in payload:
+            shard_id = payload["shard_id"]
+            if isinstance(shard_id, bool) or not isinstance(shard_id, int) or shard_id < 0:
+                raise _BadRequest(
+                    f"shard_id must be an integer >= 0, got {shard_id!r}"
+                )
+            self.shard_id = shard_id
+        self.ring_epoch = epoch
+        return {
+            "id": request_id,
+            "ok": True,
+            "configured": {"shard_id": self.shard_id, "ring_epoch": self.ring_epoch},
+        }
+
     async def _handle_plan(self, payload: dict, request_id) -> dict:
+        epoch = payload.get("epoch")
+        if epoch is not None:
+            if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+                raise _BadRequest(f"epoch must be an integer >= 0, got {epoch!r}")
+            if epoch < self.ring_epoch:
+                self.metrics.errors.inc()
+                return _error(
+                    request_id,
+                    "stale_map",
+                    f"request epoch {epoch} predates ring epoch {self.ring_epoch};"
+                    " refresh the shard map and retry",
+                    ring_epoch=self.ring_epoch,
+                )
         if self._fault_remaining > 0:
             self._fault_remaining -= 1
             code = self._fault_mode or "internal"
@@ -471,5 +551,10 @@ class PlanServer:
             pass
 
 
-def _error(request_id, code: str, message: str) -> dict:
-    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+def _error(request_id, code: str, message: str, **extra) -> dict:
+    """An error response; ``extra`` fields ride inside the error object
+    (``stale_map`` carries the server's current ``ring_epoch`` so the
+    client refreshes toward a known-good target)."""
+    error = {"code": code, "message": message}
+    error.update(extra)
+    return {"id": request_id, "ok": False, "error": error}

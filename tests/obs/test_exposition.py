@@ -191,3 +191,102 @@ class TestStrictParser:
     def test_family_repr_mentions_sample_count(self):
         family = MetricFamily("a", "gauge")
         assert "a" in repr(family)
+
+
+class TestConstantLabels:
+    """Constant labels + the cluster merge (shard="<id>" series)."""
+
+    def test_labeled_render_round_trips_strict_parse(self, snapshot):
+        text = render_prometheus(snapshot, labels={"shard": "3"})
+        families = parse_prometheus(text)  # strict: must stay legal
+        for family in families.values():
+            for _, labels, _ in family.samples:
+                assert labels["shard"] == "3"
+        latency = families["repro_service_plan_latency_us"]
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in latency.samples
+            if name.endswith("_bucket")
+        ]
+        assert buckets == [("16", 1.0), ("64", 3.0), ("+Inf", 4.0)]
+
+    def test_label_values_are_escaped(self, snapshot):
+        text = render_prometheus(snapshot, labels={"env": 'a"b\\c\nd'})
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        families = parse_prometheus(text)
+        sample = families["repro_sim_ni_buffer_peak"].samples[0]
+        assert sample[1]["env"] == 'a"b\\c\nd'
+
+    def test_invalid_label_names_rejected(self, snapshot):
+        with pytest.raises(ExpositionError):
+            render_prometheus(snapshot, labels={"0bad": "x"})
+        with pytest.raises(ExpositionError):
+            # "le" is reserved for histogram buckets.
+            render_prometheus(snapshot, labels={"le": "x"})
+
+    def test_cluster_merge_one_type_header_per_family(self, snapshot):
+        from repro.obs import render_prometheus_cluster
+
+        text = render_prometheus_cluster({"0": snapshot, "1": snapshot})
+        assert text.count("# TYPE repro_service_plan_latency_us histogram") == 1
+        families = parse_prometheus(text)  # strict across merged shards
+        latency = families["repro_service_plan_latency_us"]
+        shards = {
+            labels["shard"]
+            for name, labels, _ in latency.samples
+            if name.endswith("_count")
+        }
+        assert shards == {"0", "1"}
+
+    def test_cluster_merge_rejects_empty_and_reserved(self, snapshot):
+        from repro.obs import render_prometheus_cluster
+
+        with pytest.raises(ExpositionError):
+            render_prometheus_cluster({})
+        with pytest.raises(ExpositionError):
+            render_prometheus_cluster({"0": snapshot}, label="le")
+
+
+class TestPerLabelSetHistograms:
+    """The strict parser validates each labeled bucket group on its own."""
+
+    def test_multi_shard_histograms_accepted(self):
+        text = (
+            "# HELP repro_lat_us h\n"
+            "# TYPE repro_lat_us histogram\n"
+            'repro_lat_us_bucket{le="1",shard="0"} 1\n'
+            'repro_lat_us_bucket{le="+Inf",shard="0"} 2\n'
+            "repro_lat_us_count{shard=\"0\"} 2\n"
+            "repro_lat_us_sum{shard=\"0\"} 3.0\n"
+            'repro_lat_us_bucket{le="1",shard="1"} 5\n'
+            'repro_lat_us_bucket{le="+Inf",shard="1"} 9\n'
+            "repro_lat_us_count{shard=\"1\"} 9\n"
+            "repro_lat_us_sum{shard=\"1\"} 40.0\n"
+        )
+        families = parse_prometheus(text)
+        assert len(families["repro_lat_us"].samples) == 8
+
+    def test_one_broken_group_still_rejected(self):
+        # Shard 1's buckets are non-cumulative; shard 0 being valid
+        # must not mask that.
+        text = (
+            "# TYPE repro_lat_us histogram\n"
+            'repro_lat_us_bucket{le="1",shard="0"} 1\n'
+            'repro_lat_us_bucket{le="+Inf",shard="0"} 2\n'
+            "repro_lat_us_count{shard=\"0\"} 2\n"
+            'repro_lat_us_bucket{le="1",shard="1"} 5\n'
+            'repro_lat_us_bucket{le="+Inf",shard="1"} 3\n'
+            "repro_lat_us_count{shard=\"1\"} 3\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)
+
+    def test_missing_inf_in_one_group_rejected(self):
+        text = (
+            "# TYPE repro_lat_us histogram\n"
+            'repro_lat_us_bucket{le="1",shard="0"} 1\n'
+            'repro_lat_us_bucket{le="+Inf",shard="0"} 2\n'
+            'repro_lat_us_bucket{le="1",shard="1"} 5\n'
+        )
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)

@@ -376,3 +376,53 @@ class TestObservatory:
         server = run(body())
         assert server.profiler is NULL_PROFILER
         assert server.slos is None
+
+
+class TestShardIdentity:
+    """Satellite regression: health must name the shard it came from."""
+
+    def test_health_carries_shard_id_epoch_and_recovery(self):
+        async def body():
+            server = await started_server(shard_id=3, ring_epoch=2)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                health = await client.health()
+            await server.shutdown()
+            return health
+
+        health = run(body())
+        assert health["shard_id"] == 3
+        assert health["ring_epoch"] == 2
+        assert health["recovered_entries"] == 0  # no journal attached
+
+    def test_plain_server_health_has_null_shard_identity(self):
+        async def body():
+            server = await started_server()
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                health = await client.health()
+            await server.shutdown()
+            return health
+
+        health = run(body())
+        assert health["shard_id"] is None
+        assert health["ring_epoch"] == 0
+
+    def test_shard_identified_metrics_carry_the_shard_label(self):
+        from repro.obs import parse_prometheus
+
+        async def body():
+            server = await started_server(shard_id=5)
+            async with await PlanClient.connect("127.0.0.1", server.port) as client:
+                await client.plan(16, 4)
+                text = await client.metrics()
+            await server.shutdown()
+            return text
+
+        families = parse_prometheus(run(body()))
+        labels = {
+            labels.get("shard")
+            for family in families.values()
+            for _, labels, _ in family.samples
+        }
+        assert labels == {"5"}
+        gauge = families["repro_server_shard_id"]
+        assert gauge.samples[0][2] == 5.0

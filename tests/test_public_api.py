@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.faults",
     "repro.durable",
     "repro.sessions",
+    "repro.cluster",
 ]
 
 
