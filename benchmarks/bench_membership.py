@@ -1,0 +1,163 @@
+"""A22 — robustness: live plan amendment and delivery under churn.
+
+Two claims, one per contract in :mod:`repro.membership`:
+
+* **amend ≡ cold re-plan, at cold-re-plan cost** — on a grid of
+  join/leave deltas the amended chain, fan-out, and tree are
+  bit-identical to planning from scratch over the new member set, and
+  a paired timing at n = 4096 shows amendment costs no more than
+  starting over (the incremental graft/prune does the same O(n) key
+  work as the rotation-key sort; the win is *correctness under churn*,
+  not asymptotics — the service-layer win is single-flight dedupe,
+  measured by A15).
+* **100% delivery to stable members** — Poisson churn (joins *and*
+  leaves mid-multicast) on the 64-host irregular testbed completes
+  with every stable member receiving every packet, across seeds, with
+  the repair/catch-up traffic and disruption windows reported.
+
+Run with ``pytest benchmarks/bench_membership.py``.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+from repro import build_kbinomial_tree, chain_for, optimal_k
+from repro.membership import (
+    ChurnSimulator,
+    MembershipDelta,
+    amend_chain,
+    amend_plan,
+    churn_point,
+    same_tree,
+)
+from repro.analysis.experiments import _testbed
+from repro.analysis import render_table
+
+#: Paired timing rounds; the best per-round ratio absorbs noise.
+ROUNDS = 11
+#: Chain length for the amend-vs-cold timing (large enough that the
+#: per-call fixed costs stop dominating).
+TIMING_N = 4096
+SEEDS = (0, 1, 2)
+
+
+def _grid():
+    """Join/leave delta grid over a 33-member group on a 64-slot ordering."""
+    base = list(range(64))
+    members = [0] + [h for h in range(1, 64) if h % 2 == 1]  # 33 members
+    pool = [h for h in base if h not in set(members)]
+    cases = []
+    for joins in ((), (pool[0],), (pool[3], pool[7]), tuple(pool[:5])):
+        for leaves in ((), (members[5],), (members[1], members[16], members[30])):
+            cases.append((members, base, MembershipDelta(joins=joins, leaves=leaves)))
+    return cases
+
+
+def test_amend_is_bit_identical_to_cold_replan():
+    """Grid of deltas: amended chain == cold chain, same k, same tree."""
+    m = 8
+    for members, base, delta in _grid():
+        tree = build_kbinomial_tree(members, optimal_k(len(members), m))
+        amended = amend_plan(tree, members, delta, m, base_ordering=base)
+        cold_chain = chain_for(members[0], list(amended.chain[1:]), base)
+        assert list(amended.chain) == list(cold_chain), delta
+        if amended.n >= 2:
+            assert amended.k == optimal_k(amended.n, m), delta
+            cold_tree = build_kbinomial_tree(list(cold_chain), amended.k)
+            assert same_tree(amended.tree, cold_tree), delta
+
+
+def test_amend_costs_no_more_than_cold_replan(show):
+    """Paired timing: graft/prune vs a full rotation-key re-sort.
+
+    The contract is parity ("amendment never costs more than starting
+    over"), so the gate is a generous 1.25× on the best paired round —
+    the claim under test is the bit-identity at equal cost, not a
+    speedup.
+    """
+    base = list(range(TIMING_N + 1))
+    exclude = {17, 33}
+    chain = [0] + [h for h in base[1:] if h not in exclude]
+    delta = MembershipDelta(joins=(17, 33), leaves=(101, 2049, 3001))
+
+    amended = amend_chain(chain, delta, base)
+    new_dests = list(amended[1:])
+    assert list(chain_for(0, new_dests, base)) == list(amended)
+
+    ratios = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            gc.collect()
+            start = time.perf_counter()
+            amend_chain(chain, delta, base)
+            t_amend = time.perf_counter() - start
+            gc.collect()
+            start = time.perf_counter()
+            chain_for(0, new_dests, base)
+            t_cold = time.perf_counter() - start
+            ratios.append(t_amend / t_cold)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    best = min(ratios)
+    show(
+        f"amend vs cold re-plan chain, n={TIMING_N}: "
+        f"best ratio {best:.3f}x, median {statistics.median(ratios):.3f}x "
+        f"(<= 1.25x required)"
+    )
+    assert best <= 1.25, ratios
+
+
+def test_poisson_churn_delivers_to_every_stable_member(show):
+    """Joins and leaves mid-multicast: 100% delivery to stable members."""
+    rows = []
+    for seed in SEEDS:
+        record = churn_point("poisson", seed, 31, 8)
+        assert record["joins"] > 0 or record["leaves"] > 0, record
+        assert record["stable_complete"], record
+        assert record["delivery_to_stable"] == 1.0, record
+        rows.append(
+            [
+                seed,
+                record["events"],
+                f"{record['joins']}+{record['leaves']}-",
+                record["amends"],
+                record["catch_ups"],
+                f"{record['delivery_to_stable']:.3f}",
+                round(record["max_disruption"], 1),
+                record["dropped"]
+                if isinstance(record["dropped"], int)
+                else sum(record["dropped"].values()),
+            ]
+        )
+    show(
+        render_table(
+            ["seed", "events", "join/leave", "amends", "catchup",
+             "stable dlv", "disrupt us", "dropped"],
+            rows,
+            title="A22: Poisson churn on the 64-host testbed (31 dests, m=8)",
+        )
+    )
+
+
+def test_empty_schedule_is_bit_identical_to_baseline():
+    """The churn layer off the hot path: no schedule, no divergence."""
+    from repro import MulticastSimulator
+
+    topology, router, ordering = _testbed(1997)
+    source, dests = ordering[0], list(ordering[1:16])
+    chain = chain_for(source, dests, ordering)
+    tree = build_kbinomial_tree(chain, optimal_k(len(chain), 4))
+
+    base = MulticastSimulator(topology, router).run(tree, 4)
+    churn = ChurnSimulator(topology, router, base_ordering=ordering)
+    result = churn.run_churn(source, dests, 4)
+    assert result.completion_time == base.completion_time
+    assert result.delivery_to_stable == 1.0
+    assert result.amends == 0 and sum(result.dropped.values()) == 0

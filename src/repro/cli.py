@@ -17,6 +17,8 @@ Installed as ``repro-mcast`` (see ``pyproject.toml``), or run as
     repro-mcast reliable --loss 0.05 --dests 31 --bytes 1024
     repro-mcast chaos --smoke          # CI-sized fault-injection check
     repro-mcast chaos --runs 5 --dests 31 --bytes 512 --out chaos.json
+    repro-mcast churn --smoke          # CI-sized dynamic-membership check
+    repro-mcast churn --runs 5 --dests 31 --bytes 512 --out churn.json
     repro-mcast sessions --smoke       # CI-sized concurrent-sessions check
     repro-mcast sessions --loads 0.5,1.0,2.0 --out sessions.json
     repro-mcast decoster --bytes 4096
@@ -488,6 +490,46 @@ def _cmd_chaos(args) -> None:
             "version": 1,
             "manifest": run_manifest(
                 seed=args.seed, extra={"command": "chaos", "smoke": bool(args.smoke)}
+            ),
+            "records": _json.loads(records_json(records)),
+        }
+        atomic_write_json(args.out, payload, sort_keys=True)
+        print(f"wrote {args.out}")
+    _report_checkpoint(args)
+    _maybe_stats(args)
+
+
+def _cmd_churn(args) -> None:
+    """Dynamic-membership sweep: churn scenarios × seeds, delivery table."""
+    import json as _json
+
+    from .membership import churn_smoke, churn_sweep, churn_table, records_json
+    from .params import PAPER_PARAMS
+
+    if args.smoke:
+        records = churn_smoke(workers=args.workers)
+    else:
+        m = PAPER_PARAMS.packets_for(args.bytes)
+        seeds = tuple(range(args.seed, args.seed + args.runs))
+        records = churn_sweep(
+            seeds=seeds, dests=args.dests, m=m, workers=args.workers,
+            checkpoint=_checkpoint_of(args),
+        )
+    print(churn_table(records))
+    if args.smoke:
+        print(
+            "churn smoke OK: baseline bit-identical, every churn scenario "
+            "delivered 100% to stable members"
+        )
+    if args.out:
+        from .obs import run_manifest
+
+        from .durable import atomic_write_json
+
+        payload = {
+            "version": 1,
+            "manifest": run_manifest(
+                seed=args.seed, extra={"command": "churn", "smoke": bool(args.smoke)}
             ),
             "records": _json.loads(records_json(records)),
         }
@@ -1102,6 +1144,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_profile_options(p)
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "churn", help="dynamic-membership sweep (joins/leaves mid-multicast)"
+    )
+    p.add_argument("--smoke", action="store_true", help="CI-sized check: every scenario once")
+    p.add_argument("--seed", type=int, default=0, help="first sweep seed")
+    p.add_argument("--runs", type=int, default=3, help="seeds per scenario")
+    p.add_argument("--dests", type=int, default=31)
+    p.add_argument("--bytes", type=int, default=512)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the scenario grid (results identical for any count)",
+    )
+    p.add_argument("--out", default=None, metavar="PATH", help="write records + manifest JSON")
+    p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed chunks here; rerun with the same path to "
+             "resume a killed sweep",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="require the --checkpoint file to already exist",
+    )
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print the unified metrics snapshot after the sweep",
+    )
+    add_profile_options(p)
+    p.set_defaults(func=_cmd_churn)
 
     p = sub.add_parser(
         "sessions", help="concurrent multicast sessions under contention-aware scheduling"

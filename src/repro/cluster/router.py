@@ -455,6 +455,8 @@ class ClusterRouter:
             kind = payload.get("type")
             if kind == "plan":
                 response = await self._forward_plan(payload, request_id)
+            elif kind == "amend":
+                response = await self._forward_amend(payload, request_id)
             elif kind == "shard_map":
                 response = {
                     "id": request_id,
@@ -507,6 +509,53 @@ class ClusterRouter:
 
     async def _forward_plan(self, payload: dict, request_id) -> dict:
         request = _parse_plan_request(payload, self.max_n)
+
+        def send(client: PlanClient):
+            return client.plan(
+                request.n,
+                request.m,
+                request.params,
+                exclude=request.exclude,
+                timeout=self.request_timeout,
+            )
+
+        return await self._forward(request, request_id, send)
+
+    async def _forward_amend(self, payload: dict, request_id) -> dict:
+        """Route an amend by its *amended* plan key.
+
+        The delta is folded into the equivalent plan request first
+        (the same fold the shard performs), so every amend of the same
+        live plan walks the same replica chain as the plan it amends
+        into — dedupe locality holds across churn.  The raw delta is
+        still what gets forwarded: the shard keeps its own ``amends``
+        accounting and answers with the ``amended`` echo.
+        """
+        from ..faults.repair import SourceFailedError as _SourceFailed
+        from ..service.server import _parse_amend_request
+
+        try:
+            request = _parse_amend_request(payload, self.max_n)
+        except _SourceFailed as exc:
+            self.errors.inc()
+            return _error(request_id, "source_failed", str(exc))
+        delta = payload.get("delta") or {}
+
+        def send(client: PlanClient):
+            return client.amend(
+                payload["n"],
+                payload["m"],
+                request.params,
+                exclude=tuple(payload.get("exclude", ())),
+                join=delta.get("join", 0),
+                leave=tuple(delta.get("leave", ())),
+                timeout=self.request_timeout,
+            )
+
+        return await self._forward(request, request_id, send)
+
+    async def _forward(self, request, request_id, send) -> dict:
+        """Walk the key's replica chain, calling ``send`` per shard."""
         key = plan_key(request.n, request.m, request.params)
         chain = self.ring.chain(key, self.replication)
         self._note_hot(key, request, chain)
@@ -525,13 +574,7 @@ class ClusterRouter:
                 # The router is the map's authority: forwards are not
                 # epoch-stamped, so a mid-failover epoch bump never
                 # fences the router's own traffic.
-                result = await client.plan(
-                    request.n,
-                    request.m,
-                    request.params,
-                    exclude=request.exclude,
-                    timeout=self.request_timeout,
-                )
+                result = await send(client)
             except Exception as exc:  # noqa: BLE001 - classified below
                 if not _is_transient(exc):
                     if isinstance(exc, PlanServiceError):

@@ -31,7 +31,13 @@ from .chaos import (
     survival_table,
 )
 from .inject import DegradedResult, FaultInjector, FaultyMulticastSimulator, LinkFaultState, NIFaultGate
-from .repair import RepairPlan, repair_plan, surviving_chain, unreachable_set
+from .repair import (
+    RepairPlan,
+    SourceFailedError,
+    repair_plan,
+    surviving_chain,
+    unreachable_set,
+)
 from .schedule import (
     FAULT_KINDS,
     FaultEvent,
@@ -54,6 +60,7 @@ __all__ = [
     "DegradedResult",
     "FaultyMulticastSimulator",
     "RepairPlan",
+    "SourceFailedError",
     "repair_plan",
     "surviving_chain",
     "unreachable_set",

@@ -34,7 +34,25 @@ from ..core.kbinomial import build_kbinomial_tree, steps_needed
 from ..core.optimal import optimal_k, predicted_steps
 from ..core.trees import MulticastTree
 
-__all__ = ["unreachable_set", "surviving_chain", "RepairPlan", "repair_plan"]
+__all__ = [
+    "SourceFailedError",
+    "unreachable_set",
+    "surviving_chain",
+    "RepairPlan",
+    "repair_plan",
+]
+
+
+class SourceFailedError(ValueError):
+    """The multicast source itself failed or departed.
+
+    With a dead (or departed) source there is nothing to repair or
+    amend — the multicast has no origin left — so this is a terminal
+    condition, not a re-planning input.  A ``ValueError`` subclass so
+    pre-existing callers that caught the bare ``ValueError`` keep
+    working; the plan service maps it to a structured
+    ``source_failed`` error response instead of a generic failure.
+    """
 
 
 def unreachable_set(tree: MulticastTree, failed: Iterable) -> frozenset:
@@ -47,7 +65,7 @@ def unreachable_set(tree: MulticastTree, failed: Iterable) -> frozenset:
     """
     dead = set(failed)
     if tree.root in dead:
-        raise ValueError("the multicast source failed; no repair is possible")
+        raise SourceFailedError("the multicast source failed; no repair is possible")
     reached = set()
     stack = [tree.root]
     while stack:

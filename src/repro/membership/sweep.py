@@ -1,0 +1,286 @@
+"""Churn harness: sweep membership scenarios against live multicasts.
+
+Each grid point runs one multicast on the 64-host irregular testbed
+under one named churn scenario and reports a flat JSON-safe record:
+delivery to stable members (the graceful-degradation headline), joiner
+staleness, disruption windows, amendment/catch-up counts, and drops at
+departed members' gates.
+
+Scenarios (:data:`SCENARIOS`):
+
+``baseline``
+    Empty schedule; the control row (delivery 1.0, zero churn, zero
+    drops — and bit-identical to the plain simulator).
+``poisson``
+    :func:`~repro.membership.schedule.poisson_churn_schedule` — mixed
+    joins/leaves/rejoins with Poisson arrivals (the acceptance
+    scenario: stable members must still see 100% delivery).
+``flash_join``
+    :func:`~repro.membership.schedule.flash_join_schedule` — a burst
+    of joiners lands mid-message (the amend-dedupe load pattern).
+``correlated_leave``
+    :func:`~repro.membership.schedule.correlated_leave_schedule` — a
+    fraction of the group departs at once (the adversarial amendment).
+
+The sweep runs on :func:`repro.analysis.sweep.run_sweep`, so
+``workers=N`` fans points out over processes and merges them back in
+grid order — :func:`records_json` of the same grid is byte-identical
+for any worker count, like the chaos harness it mirrors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from functools import partial
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..analysis.experiments import _testbed
+from ..analysis.sweep import run_sweep
+from ..analysis.tables import render_table
+from ..durable.errors import StoreCorruptionError
+from ..obs.tracer import Tracer
+from .runtime import ChurnSimulator
+from .schedule import (
+    MembershipSchedule,
+    correlated_leave_schedule,
+    flash_join_schedule,
+    poisson_churn_schedule,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "churn_point",
+    "churn_sweep",
+    "churn_smoke",
+    "churn_table",
+    "load_records",
+    "records_json",
+]
+
+#: Named churn scenarios the harness understands.
+SCENARIOS = ("baseline", "poisson", "flash_join", "correlated_leave")
+
+#: Simulated time (µs) at which targeted churn strikes — past the
+#: source's t_s hand-off, so the message is mid-flight.
+CHURN_AT = 25.0
+#: Poisson scenario: churn arrival rate (events/µs) and window (µs).
+POISSON_RATE = 0.08
+POISSON_HORIZON = 100.0
+#: Flash-join burst size and inter-join spacing (µs).
+FLASH_JOINERS = 4
+FLASH_SPACING = 5.0
+#: Correlated-leave departure fraction.
+LEAVE_FRACTION = 0.25
+#: Safety net for degraded runs (µs of simulated time).
+TIME_LIMIT = 20_000.0
+
+
+def _scenario_schedule(
+    scenario: str, source, dests: Sequence, pool: Sequence, seed: int
+) -> MembershipSchedule:
+    if scenario == "baseline":
+        return MembershipSchedule()
+    if scenario == "poisson":
+        return poisson_churn_schedule(
+            dests,
+            pool,
+            rate=POISSON_RATE,
+            horizon=POISSON_HORIZON,
+            seed=seed,
+            exclude=(source,),
+        )
+    if scenario == "flash_join":
+        joiners = list(pool)[:FLASH_JOINERS]
+        return flash_join_schedule(
+            joiners, at=CHURN_AT, spacing=FLASH_SPACING, seed=seed
+        )
+    if scenario == "correlated_leave":
+        return correlated_leave_schedule(
+            dests, at=CHURN_AT, fraction=LEAVE_FRACTION, seed=seed, exclude=(source,)
+        )
+    raise ValueError(f"unknown scenario {scenario!r}; choose from {SCENARIOS}")
+
+
+def churn_point(scenario: str, seed: int, dests: int, m: int) -> dict:
+    """One churn run; pure function of its arguments (picklable, JSON-safe).
+
+    Builds the standard testbed for ``seed``, draws one (source,
+    destinations) set and a joiner pool, generates the scenario's
+    membership schedule, and runs the multicast under churn.
+    """
+    topology, router, ordering = _testbed(1997 + seed)
+    rng = random.Random(f"churn:{seed}:{dests}")
+    picked = rng.sample(list(topology.hosts), dests + 1)
+    source, destinations = picked[0], picked[1:]
+    member_set = set(picked)
+    pool = [h for h in ordering if h not in member_set]
+    schedule = _scenario_schedule(scenario, source, destinations, pool, seed)
+
+    simulator = ChurnSimulator(
+        topology, router, schedule=schedule, base_ordering=ordering
+    )
+    result = simulator.run_churn(source, destinations, m, time_limit=TIME_LIMIT)
+
+    joins = sum(1 for e in schedule if e.kind in ("join", "rejoin"))
+    leaves = sum(1 for e in schedule if e.kind == "leave")
+    return {
+        "scenario": scenario,
+        "seed": seed,
+        "dests": dests,
+        "m": m,
+        "events": len(schedule),
+        "joins": joins,
+        "leaves": leaves,
+        "stable": len(result.stable),
+        "delivery_to_stable": result.delivery_to_stable,
+        "stable_complete": result.stable_complete,
+        "joined": len(result.joined),
+        "departed": len(result.departed),
+        "amends": result.amends,
+        "catch_ups": result.catch_ups,
+        "caught_up": len(result.joiner_staleness),
+        "mean_staleness": result.mean_staleness,
+        "max_disruption": result.max_disruption,
+        "completion_time": result.completion_time,
+        "dropped": result.dropped,
+    }
+
+
+def churn_sweep(
+    scenarios: Sequence[str] = SCENARIOS,
+    seeds: Sequence[int] = (0, 1, 2),
+    dests: int = 31,
+    m: int = 8,
+    *,
+    workers: int = 1,
+    tracer: Optional[Tracer] = None,
+    checkpoint: Union[None, str, os.PathLike] = None,
+) -> List[dict]:
+    """All scenario × seed churn records, in grid order.
+
+    Results are independent of ``workers`` (grid-order merge), so the
+    canonical :func:`records_json` serialization is byte-identical for
+    any worker count.  ``checkpoint`` journals completed chunks so a
+    killed churn campaign resumes instead of restarting.
+    """
+    points = run_sweep(
+        partial(churn_point, dests=dests, m=m),
+        {"scenario": list(scenarios), "seed": list(seeds)},
+        workers=workers,
+        tracer=tracer,
+        checkpoint=checkpoint,
+    )
+    return [p.value for p in points]
+
+
+def records_json(records: Sequence[dict]) -> str:
+    """Canonical JSON for a record list (sorted keys, compact, stable)."""
+    return json.dumps(list(records), sort_keys=True, separators=(",", ":"))
+
+
+def load_records(path: Union[str, os.PathLike]) -> List[dict]:
+    """Load a churn record list written from :func:`records_json`.
+
+    Raises :class:`~repro.durable.errors.StoreCorruptionError` (never a
+    raw ``JSONDecodeError``) on truncated, tampered, or wrong-shape
+    input.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise StoreCorruptionError(f"cannot read churn records {path!r}: {exc}") from exc
+    try:
+        records = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise StoreCorruptionError(
+            f"churn records {path!r} are not valid JSON ({exc}); the file is "
+            "truncated or corrupt — regenerate it with `repro-mcast churn --out`"
+        ) from exc
+    if not isinstance(records, list) or not all(isinstance(r, dict) for r in records):
+        raise StoreCorruptionError(
+            f"churn records {path!r} must be a JSON array of objects; "
+            "regenerate the file with `repro-mcast churn --out`"
+        )
+    return records
+
+
+def churn_table(records: Sequence[dict]) -> str:
+    """Render churn records as the delivery-under-churn table."""
+    rows = []
+    for r in records:
+        dropped = r.get("dropped") or {}
+        staleness = r.get("mean_staleness")
+        rows.append(
+            [
+                r["scenario"],
+                r["seed"],
+                r["events"],
+                f"{r['delivery_to_stable']:.3f}",
+                r["joined"],
+                r["departed"],
+                r["amends"],
+                r["catch_ups"],
+                "-" if staleness is None else round(staleness, 1),
+                round(r["max_disruption"], 1),
+                sum(dropped.values()),
+            ]
+        )
+    return render_table(
+        [
+            "scenario",
+            "seed",
+            "events",
+            "stable dlv",
+            "joined",
+            "left",
+            "amends",
+            "catchup",
+            "stale us",
+            "disrupt us",
+            "dropped",
+        ],
+        rows,
+        title="membership churn: delivery to stable members under joins and leaves",
+    )
+
+
+def churn_smoke(workers: int = 1) -> List[dict]:
+    """The CI-sized churn run: every scenario once, small multicast.
+
+    Sanity-checks the whole subsystem end to end — the
+    graceful-degradation contract is that **every stable member gets
+    the whole message in every scenario**.  Baseline must additionally
+    be churn-free with zero drops; the Poisson scenario must actually
+    exercise both joins and leaves (the acceptance criterion); a flash
+    join must catch every joiner up; a correlated leave must trigger at
+    least one amendment.  Raises ``AssertionError`` on violation (so
+    the CI step fails loudly), returns the records otherwise.
+    """
+    records = churn_sweep(seeds=(0,), dests=15, m=4, workers=workers)
+    by_scenario: Dict[str, dict] = {r["scenario"]: r for r in records}
+
+    for record in records:
+        assert record["stable_complete"], f"a stable member lost packets: {record}"
+        assert record["delivery_to_stable"] == 1.0, f"degraded stable delivery: {record}"
+
+    base = by_scenario["baseline"]
+    assert base["events"] == 0 and base["amends"] == 0, f"baseline churned: {base}"
+    assert sum((base["dropped"] or {}).values()) == 0, f"baseline dropped packets: {base}"
+
+    poisson = by_scenario["poisson"]
+    assert poisson["joins"] > 0 and poisson["leaves"] > 0, (
+        f"poisson scenario must mix joins and leaves: {poisson}"
+    )
+
+    flash = by_scenario["flash_join"]
+    assert flash["joined"] == FLASH_JOINERS, f"flash join lost joiners: {flash}"
+    assert flash["caught_up"] == flash["joined"], f"a joiner never caught up: {flash}"
+
+    correlated = by_scenario["correlated_leave"]
+    assert correlated["departed"] >= 1, f"correlated leave departed nobody: {correlated}"
+    assert correlated["amends"] >= 1, f"correlated leave never amended: {correlated}"
+    return records

@@ -4,9 +4,9 @@ Six perf-focused PRs produced zero *tracked* baselines — a regression
 would ship silently.  This module closes that hole with three pieces:
 
 * **Gates** — self-contained, seconds-scale wall-clock workloads
-  distilled from the A15/A17/A18/A19/A21 benchmarks (service Zipf
+  distilled from the A15/A17/A18/A19/A21/A22 benchmarks (service Zipf
   drive, checkpointed sweep, surface build, flash-crowd sessions,
-  2-shard cluster routing).  Each gate
+  2-shard cluster routing, Poisson-churn membership).  Each gate
   runs ``repeats`` times after a warmup and reports its *median*
   seconds, the statistic least moved by scheduler noise.
 * **Trajectory file** — every run appends ``{manifest, entries}`` to a
@@ -165,6 +165,14 @@ def _gate_cluster() -> None:
     asyncio.run(drive())
 
 
+def _gate_membership() -> None:
+    """A22 distilled: one Poisson-churn multicast with amendments."""
+    from ..membership import churn_point
+
+    record = churn_point("poisson", 0, 15, 4)
+    assert record["stable_complete"], record
+
+
 #: Gate id -> (workload, human name).  Ids match the benchmark index in
 #: DESIGN.md so trajectory entries and EXPERIMENTS.md sections line up.
 GATES: Dict[str, tuple] = {
@@ -173,6 +181,7 @@ GATES: Dict[str, tuple] = {
     "A18": (_gate_surface, "analytic surface cold build + extraction"),
     "A19": (_gate_sessions, "flash-crowd sessions point (cda)"),
     "A21": (_gate_cluster, "2-shard cluster, Zipf mix via shard-map routing"),
+    "A22": (_gate_membership, "Poisson-churn multicast with live amendment"),
 }
 
 

@@ -24,7 +24,9 @@ Layers, innermost out:
 * :mod:`~repro.service.server` — :class:`PlanServer`: asyncio
   JSON-lines TCP front end with per-request timeouts, bounded
   admission (explicit ``overloaded`` shed, never unbounded latency),
-  and graceful drain.
+  graceful drain, and the ``amend`` wire type that folds a membership
+  delta (:mod:`repro.membership`) into an equivalent plan request —
+  churn bursts coalesce in the batcher's single-flight dedupe.
 * :mod:`~repro.service.client` — :class:`PlanClient` (async) and the
   :func:`plan_remote` / :func:`stats_remote` sync conveniences, with
   :class:`RetryPolicy` backoff over typed transient failures
@@ -53,7 +55,9 @@ from .client import (
     PlanServiceError,
     PlanTimeoutError,
     RetryPolicy,
+    SourceFailedError,
     StaleMapError,
+    amend_remote,
     metrics_remote,
     plan_remote,
     stats_remote,
@@ -77,7 +81,9 @@ __all__ = [
     "RequestJournal",
     "RetryPolicy",
     "ServiceMetrics",
+    "SourceFailedError",
     "StaleMapError",
+    "amend_remote",
     "metrics_remote",
     "plan",
     "plan_remote",

@@ -8,7 +8,12 @@ exploits that twice:
 * **single-flight** — while a key is being computed, every further
   request for it attaches to the in-flight future instead of enqueuing
   a duplicate computation (the classic singleflight/request-collapsing
-  pattern);
+  pattern).  This is also the churn-burst absorber: the server folds
+  every ``amend`` delta into an equivalent :class:`PlanRequest`
+  (:func:`repro.membership.amend.amended_request`), so a flash crowd
+  of identical membership changes — N joiners hitting every replica at
+  once — collapses onto one in-flight computation instead of a re-plan
+  storm through the cluster router;
 * **micro-batching** — distinct keys arriving within ``max_delay`` of
   each other (or until ``max_batch`` uniques accumulate) are flushed
   together and fanned over an executor in chunks, using the same

@@ -37,7 +37,9 @@ __all__ = [
     "PlanServiceError",
     "PlanTimeoutError",
     "RetryPolicy",
+    "SourceFailedError",
     "StaleMapError",
+    "amend_remote",
     "metrics_remote",
     "plan_remote",
     "stats_remote",
@@ -62,6 +64,18 @@ class PlanTimeoutError(PlanServiceError):
 
     def __init__(self, message: str) -> None:
         super().__init__("timeout", message)
+
+
+class SourceFailedError(PlanServiceError):
+    """The amend delta removed the multicast source (position 0).
+
+    The wire twin of :class:`repro.faults.repair.SourceFailedError`:
+    not retryable — the same delta fails the same way — the caller
+    must elect a new source and plan afresh.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("source_failed", message)
 
 
 class StaleMapError(PlanServiceError):
@@ -89,6 +103,8 @@ def _raise_for(error: dict) -> None:
         raise OverloadedError(code, message)
     if code == "stale_map":
         raise StaleMapError(code, message, ring_epoch=error.get("ring_epoch"))
+    if code == "source_failed":
+        raise SourceFailedError(message)
     raise PlanServiceError(code, message)
 
 
@@ -266,6 +282,55 @@ class PlanClient:
                     raise
                 await asyncio.sleep(delay)
 
+    async def amend(
+        self,
+        n: int,
+        m: int,
+        params: Optional[MachineParams] = None,
+        *,
+        exclude: Sequence[int] = (),
+        join: int = 0,
+        leave: Sequence[int] = (),
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        epoch: Optional[int] = None,
+    ) -> PlanResult:
+        """Amend a live plan by a membership delta; raises on service errors.
+
+        ``join`` counts new members grafted at the chain tail and
+        ``leave`` lists departing chain positions (``1 .. n - 1``); the
+        server folds both into an equivalent plan request, so identical
+        deltas from a churn burst coalesce in its single-flight dedupe.
+        A delta naming position 0 raises :class:`SourceFailedError`
+        (not retryable).  ``retry`` and ``epoch`` behave exactly as in
+        :meth:`plan`.
+        """
+        payload: dict = {"type": "amend", "n": n, "m": m, "delta": {}}
+        if join:
+            payload["delta"]["join"] = join
+        if leave:
+            payload["delta"]["leave"] = sorted(set(leave))
+        if params is not None:
+            payload["params"] = params.to_dict()
+        if exclude:
+            payload["exclude"] = sorted(set(exclude))
+        if epoch is not None:
+            payload["epoch"] = epoch
+        delays = retry.delays() if retry is not None else iter(())
+        while True:
+            try:
+                response = await self.request(payload, timeout=timeout)
+                if not response.get("ok"):
+                    _raise_for(response.get("error", {}))
+                return PlanResult.from_dict(response["result"])
+            except PlanServiceError as exc:
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
+
     async def health(self) -> dict:
         """The server's health report (status, inflight, fault mode)."""
         response = await self.request({"type": "health"})
@@ -358,6 +423,33 @@ def plan_remote(
 ) -> PlanResult:
     """Synchronous one-shot plan request (the CLI's ``--connect`` path)."""
     payload: dict = {"type": "plan", "n": n, "m": m}
+    if params is not None:
+        payload["params"] = params.to_dict()
+    if exclude:
+        payload["exclude"] = sorted(set(exclude))
+    response = asyncio.run(_one_shot(host, port, payload))
+    if not response.get("ok"):
+        _raise_for(response.get("error", {}))
+    return PlanResult.from_dict(response["result"])
+
+
+def amend_remote(
+    host: str,
+    port: int,
+    n: int,
+    m: int,
+    params: Optional[MachineParams] = None,
+    exclude: Sequence[int] = (),
+    *,
+    join: int = 0,
+    leave: Sequence[int] = (),
+) -> PlanResult:
+    """Synchronous one-shot amend request (the CLI's ``--connect`` path)."""
+    payload: dict = {"type": "amend", "n": n, "m": m, "delta": {}}
+    if join:
+        payload["delta"]["join"] = join
+    if leave:
+        payload["delta"]["leave"] = sorted(set(leave))
     if params is not None:
         payload["params"] = params.to_dict()
     if exclude:

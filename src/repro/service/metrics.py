@@ -177,14 +177,16 @@ class ServiceMetrics:
     Counters
     --------
     ``requests`` — lines parsed into a request of any type;
-    ``plans`` — plan requests admitted; ``planned`` — unique plan
-    computations actually executed (so ``plans - planned`` duplicates
-    were absorbed by single-flight or arrived while cached);
-    ``singleflight_hits`` — requests attached to an in-flight
-    computation; ``batches`` — executor flushes; ``shed`` — requests
-    refused with ``overloaded``; ``timeouts`` — per-request deadline
-    expiries; ``errors`` — every error response sent (including shed
-    and timeouts).
+    ``plans`` — plan requests admitted; ``amends`` — membership-delta
+    requests folded into plan requests (so ``amends`` minus the extra
+    ``singleflight_hits`` they caused is what churn actually cost);
+    ``planned`` — unique plan computations actually executed (so
+    ``plans - planned`` duplicates were absorbed by single-flight or
+    arrived while cached); ``singleflight_hits`` — requests attached
+    to an in-flight computation; ``batches`` — executor flushes;
+    ``shed`` — requests refused with ``overloaded``; ``timeouts`` —
+    per-request deadline expiries; ``errors`` — every error response
+    sent (including shed and timeouts).
 
     Each instance registers its :meth:`snapshot` with
     :data:`repro.obs.GLOBAL_METRICS` under ``"service"`` (last writer
@@ -194,6 +196,7 @@ class ServiceMetrics:
     def __init__(self) -> None:
         self.requests = Counter()
         self.plans = Counter()
+        self.amends = Counter()
         self.planned = Counter()
         self.singleflight_hits = Counter()
         self.batches = Counter()
@@ -213,6 +216,7 @@ class ServiceMetrics:
         for counter in (
             self.requests,
             self.plans,
+            self.amends,
             self.planned,
             self.singleflight_hits,
             self.batches,
@@ -251,6 +255,7 @@ class ServiceMetrics:
             "counters": {
                 "requests": self.requests.value,
                 "plans": self.plans.value,
+                "amends": self.amends.value,
                 "planned": self.planned.value,
                 "singleflight_hits": self.singleflight_hits.value,
                 "batches": self.batches.value,

@@ -7,6 +7,16 @@ echoes back (so clients may pipeline):
 * ``{"type": "plan", "id": 1, "n": 64, "m": 8, "params": {...}?,
   "exclude": [3, 7]?}`` →
   ``{"id": 1, "ok": true, "result": <PlanResult.to_dict()>}``
+* ``{"type": "amend", "id": 2, "n": 64, "m": 8, "params": {...}?,
+  "exclude": [...]?, "delta": {"join": 2?, "leave": [5, 9]?}}`` →
+  ``{"id": 2, "ok": true, "result": ..., "amended": {"n": ...,
+  "m": ..., "exclude": [...]}}`` — live plan amendment: the delta is
+  folded into an equivalent plan request
+  (:func:`repro.membership.amend.amended_request`), so equal deltas
+  against the same plan collapse in the batcher's single-flight
+  dedupe and a churn burst costs one computation.  A delta whose
+  ``leave`` names position 0 (the source) is refused with the
+  structured ``source_failed`` error.
 * ``{"type": "stats"}`` → ``{"ok": true, "stats": <ServiceMetrics.snapshot()>}``
 * ``{"type": "ping"}`` → ``{"ok": true, "pong": true}``
 * ``{"type": "health"}`` → ``{"ok": true, "health": {"status":
@@ -40,7 +50,7 @@ only dedupe locality does.
 
 Errors come back as ``{"id": ..., "ok": false, "error": {"code": ...,
 "message": ...}}`` with codes ``bad_request``, ``overloaded``,
-``timeout``, ``stale_map``, and ``internal``.
+``timeout``, ``stale_map``, ``source_failed``, and ``internal``.
 
 Overload policy (the load-shedding half of the ISSUE): at most
 ``max_inflight`` plan requests may be in flight server-wide; the
@@ -106,6 +116,50 @@ def _parse_plan_request(payload: dict, max_n: int) -> PlanRequest:
         raise _BadRequest(str(exc)) from exc
     if request.n > max_n:
         raise _BadRequest(f"n={request.n} exceeds this server's max_n={max_n}")
+    return request
+
+
+def _parse_amend_request(payload: dict, max_n: int) -> PlanRequest:
+    """Fold an amend payload's delta into an equivalent PlanRequest.
+
+    :class:`~repro.faults.repair.SourceFailedError` propagates (the
+    caller answers the structured ``source_failed`` error); every
+    other validation failure is a plain ``bad_request``.
+    """
+    from ..faults.repair import SourceFailedError
+    from ..membership.amend import amended_request
+
+    delta = payload.get("delta")
+    if not isinstance(delta, dict):
+        raise _BadRequest(f"amend needs a delta object, got {delta!r}")
+    unknown = sorted(set(delta) - {"join", "leave"})
+    if unknown:
+        raise _BadRequest(f"unknown delta fields: {unknown}")
+    leave_raw = delta.get("leave", ())
+    if not isinstance(leave_raw, (list, tuple)):
+        raise _BadRequest(f"delta.leave must be a list of positions, got {leave_raw!r}")
+    params_raw = payload.get("params")
+    exclude_raw = payload.get("exclude", ())
+    if not isinstance(exclude_raw, (list, tuple)):
+        raise _BadRequest(f"exclude must be a list of positions, got {exclude_raw!r}")
+    try:
+        params = (
+            MachineParams() if params_raw is None else MachineParams.from_dict(params_raw)
+        )
+        request = amended_request(
+            payload.get("n"),
+            payload.get("m"),
+            params,
+            tuple(exclude_raw),
+            join=delta.get("join", 0),
+            leave=tuple(leave_raw),
+        )
+    except SourceFailedError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise _BadRequest(str(exc)) from exc
+    if request.n > max_n:
+        raise _BadRequest(f"amended n={request.n} exceeds this server's max_n={max_n}")
     return request
 
 
@@ -411,6 +465,8 @@ class PlanServer:
             kind = payload.get("type")
             if kind == "plan":
                 response = await self._handle_plan(payload, request_id)
+            elif kind == "amend":
+                response = await self._handle_amend(payload, request_id)
             elif kind == "stats":
                 response = {"id": request_id, "ok": True, "stats": self.metrics.snapshot()}
             elif kind == "ping":
@@ -475,30 +531,74 @@ class PlanServer:
             "configured": {"shard_id": self.shard_id, "ring_epoch": self.ring_epoch},
         }
 
-    async def _handle_plan(self, payload: dict, request_id) -> dict:
+    def _fence_epoch(self, payload: dict, request_id) -> Optional[dict]:
+        """The ``stale_map`` refusal shared by ``plan`` and ``amend``."""
         epoch = payload.get("epoch")
-        if epoch is not None:
-            if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
-                raise _BadRequest(f"epoch must be an integer >= 0, got {epoch!r}")
-            if epoch < self.ring_epoch:
-                self.metrics.errors.inc()
-                return _error(
-                    request_id,
-                    "stale_map",
-                    f"request epoch {epoch} predates ring epoch {self.ring_epoch};"
-                    " refresh the shard map and retry",
-                    ring_epoch=self.ring_epoch,
-                )
-        if self._fault_remaining > 0:
-            self._fault_remaining -= 1
-            code = self._fault_mode or "internal"
-            if self._fault_remaining == 0:
-                self._fault_mode = None
-            if self._fault_delay:
-                await asyncio.sleep(self._fault_delay)
+        if epoch is None:
+            return None
+        if isinstance(epoch, bool) or not isinstance(epoch, int) or epoch < 0:
+            raise _BadRequest(f"epoch must be an integer >= 0, got {epoch!r}")
+        if epoch < self.ring_epoch:
             self.metrics.errors.inc()
-            return _error(request_id, code, "injected fault (testing mode)")
+            return _error(
+                request_id,
+                "stale_map",
+                f"request epoch {epoch} predates ring epoch {self.ring_epoch};"
+                " refresh the shard map and retry",
+                ring_epoch=self.ring_epoch,
+            )
+        return None
+
+    async def _injected_fault(self, request_id) -> Optional[dict]:
+        """Consume one armed testing fault, if any."""
+        if self._fault_remaining <= 0:
+            return None
+        self._fault_remaining -= 1
+        code = self._fault_mode or "internal"
+        if self._fault_remaining == 0:
+            self._fault_mode = None
+        if self._fault_delay:
+            await asyncio.sleep(self._fault_delay)
+        self.metrics.errors.inc()
+        return _error(request_id, code, "injected fault (testing mode)")
+
+    async def _handle_plan(self, payload: dict, request_id) -> dict:
+        fenced = self._fence_epoch(payload, request_id)
+        if fenced is not None:
+            return fenced
+        fault = await self._injected_fault(request_id)
+        if fault is not None:
+            return fault
         request = _parse_plan_request(payload, self.max_n)
+        return await self._submit_plan(request, request_id)
+
+    async def _handle_amend(self, payload: dict, request_id) -> dict:
+        from ..faults.repair import SourceFailedError
+
+        fenced = self._fence_epoch(payload, request_id)
+        if fenced is not None:
+            return fenced
+        fault = await self._injected_fault(request_id)
+        if fault is not None:
+            return fault
+        try:
+            request = _parse_amend_request(payload, self.max_n)
+        except SourceFailedError as exc:
+            self.metrics.errors.inc()
+            return _error(request_id, "source_failed", str(exc))
+        self.metrics.amends.inc()
+        response = await self._submit_plan(request, request_id)
+        if response.get("ok"):
+            # Echo the equivalent plan request so the caller can track
+            # the amended group without re-deriving the delta fold.
+            response["amended"] = {
+                "n": request.n,
+                "m": request.m,
+                "exclude": sorted(request.exclude),
+            }
+        return response
+
+    async def _submit_plan(self, request: PlanRequest, request_id) -> dict:
         if self._active_plans >= self.max_inflight:
             self.metrics.shed.inc()
             self.metrics.errors.inc()

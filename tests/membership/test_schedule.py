@@ -1,0 +1,135 @@
+"""Membership schedules: value semantics, canonical JSON, generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.membership import (
+    MEMBERSHIP_KINDS,
+    MembershipEvent,
+    MembershipSchedule,
+    correlated_leave_schedule,
+    flash_join_schedule,
+    poisson_churn_schedule,
+)
+
+H = [("host", i) for i in range(16)]
+
+
+class TestEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown membership kind"):
+            MembershipEvent(1.0, "crash", H[0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MembershipEvent(-0.5, "join", H[0])
+
+    def test_round_trip_preserves_tuple_nodes(self):
+        event = MembershipEvent(3.0, "rejoin", H[5])
+        again = MembershipEvent.from_dict(event.to_dict())
+        assert again == event
+        assert isinstance(again.node, tuple)
+
+    def test_unknown_wire_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown MembershipEvent fields"):
+            MembershipEvent.from_dict(
+                {"time": 1.0, "kind": "join", "node": 1, "extra": 2}
+            )
+
+
+class TestSchedule:
+    def test_events_sorted_and_order_insensitive(self):
+        a = MembershipEvent(9.0, "leave", H[1])
+        b = MembershipEvent(2.0, "join", H[2])
+        assert MembershipSchedule((a, b)) == MembershipSchedule((b, a))
+        assert [e.time for e in MembershipSchedule((a, b))] == [2.0, 9.0]
+
+    def test_json_round_trip_is_canonical(self):
+        schedule = poisson_churn_schedule(
+            H[:8], H[8:], rate=0.1, horizon=60.0, seed=7
+        )
+        text = schedule.to_json()
+        assert MembershipSchedule.from_json(text) == schedule
+        assert MembershipSchedule.from_json(text).to_json() == text
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            MembershipSchedule.from_dict({"version": 2, "events": []})
+
+    def test_stable_excludes_every_leaver(self):
+        schedule = MembershipSchedule(
+            (
+                MembershipEvent(1.0, "leave", H[3]),
+                MembershipEvent(2.0, "join", H[9]),
+                MembershipEvent(4.0, "leave", H[5]),
+            )
+        )
+        assert schedule.stable(H[:8]) == tuple(
+            h for h in H[:8] if h not in (H[3], H[5])
+        )
+        assert schedule.joiners() == frozenset({H[9]})
+        assert schedule.leavers() == frozenset({H[3], H[5]})
+
+    def test_until_clips_by_time(self):
+        schedule = MembershipSchedule(
+            tuple(MembershipEvent(float(t), "join", H[t]) for t in range(1, 6))
+        )
+        assert len(schedule.until(3.0)) == 3
+        assert not schedule.until(0.5)
+
+
+class TestGenerators:
+    def test_poisson_deterministic_and_legal(self):
+        kwargs = dict(rate=0.2, horizon=80.0, seed=11, exclude=(H[0],))
+        one = poisson_churn_schedule(H[:8], H[8:], **kwargs)
+        two = poisson_churn_schedule(H[:8], H[8:], **kwargs)
+        assert one == two and one.to_json() == two.to_json()
+        assert all(e.kind in MEMBERSHIP_KINDS for e in one)
+        assert H[0] not in one.leavers()
+        # replaying the schedule keeps membership legal at every step
+        inside = set(H[:8])
+        for event in one:
+            if event.kind == "leave":
+                assert event.node in inside
+                inside.discard(event.node)
+            else:
+                assert event.node not in inside
+                inside.add(event.node)
+
+    def test_poisson_rejoin_marks_returning_leavers(self):
+        schedule = poisson_churn_schedule(
+            H[:6], H[6:8], rate=0.5, horizon=200.0, seed=3
+        )
+        rejoins = [e.node for e in schedule if e.kind == "rejoin"]
+        for node in rejoins:
+            earlier = [
+                e
+                for e in schedule
+                if e.node == node and e.kind == "leave" and e.time < min(
+                    ev.time for ev in schedule if ev.node == node and ev.kind == "rejoin"
+                )
+            ]
+            assert earlier, node
+
+    def test_flash_join_spacing_and_shuffle(self):
+        schedule = flash_join_schedule(H[:4], at=10.0, spacing=2.0, seed=5)
+        assert sorted(e.time for e in schedule) == [10.0, 12.0, 14.0, 16.0]
+        assert {e.node for e in schedule} == set(H[:4])
+        assert all(e.kind == "join" for e in schedule)
+
+    def test_correlated_leave_size_and_exclusion(self):
+        schedule = correlated_leave_schedule(
+            H[:8], at=5.0, fraction=0.5, seed=2, exclude=(H[0],)
+        )
+        assert all(e.kind == "leave" and e.time == 5.0 for e in schedule)
+        assert H[0] not in schedule.leavers()
+        assert len(schedule) == round(0.5 * 7)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            poisson_churn_schedule(H[:4], H[4:], rate=0.0, horizon=10.0, seed=0)
+        with pytest.raises(ValueError, match="fraction"):
+            correlated_leave_schedule(H[:4], at=1.0, fraction=0.0, seed=0)
+        with pytest.raises(ValueError, match="spacing"):
+            flash_join_schedule(H[:4], at=1.0, spacing=-1.0)

@@ -27,7 +27,7 @@ def entries(**medians):
 
 class TestGates:
     def test_gate_ids_match_the_benchmark_index(self):
-        assert set(GATES) == {"A15", "A17", "A18", "A19", "A21"}
+        assert set(GATES) == {"A15", "A17", "A18", "A19", "A21", "A22"}
         for workload, name in GATES.values():
             assert callable(workload) and name
 

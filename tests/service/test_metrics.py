@@ -107,6 +107,7 @@ class TestServiceMetrics:
         assert set(counters) == {
             "requests",
             "plans",
+            "amends",
             "planned",
             "singleflight_hits",
             "batches",

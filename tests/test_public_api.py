@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.durable",
     "repro.sessions",
     "repro.cluster",
+    "repro.membership",
 ]
 
 
